@@ -1,0 +1,33 @@
+"""Ablation A1 — Algorithm-1 merge-threshold sweep.
+
+The paper leaves THRESHOLD unspecified; this sweep shows the
+granularity trade-off: tiny thresholds produce many micro sub-graphs
+(more boundary articulation points, more α/β work), huge thresholds
+fold satellite structure into fewer/larger sub-graphs.
+"""
+
+import pytest
+
+from repro.bench.experiments import ablation_threshold
+from repro.bench.workloads import scaling_graph
+from repro.decompose.partition import graph_partition
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("threshold", [2, 8, 32])
+def test_partition_threshold(benchmark, threshold):
+    _name, graph = scaling_graph()
+    partition = one_shot(
+        benchmark, graph_partition, graph, threshold=threshold
+    )
+    partition.validate()
+    benchmark.extra_info["num_subgraphs"] = partition.num_subgraphs
+
+
+def test_report_ablation_threshold(benchmark, report):
+    result = one_shot(benchmark, ablation_threshold)
+    # sub-graph count decreases (weakly) as the threshold grows
+    counts = [row[1] for row in result.rows]
+    assert all(b <= a for a, b in zip(counts, counts[1:]))
+    report(result)

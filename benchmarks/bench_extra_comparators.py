@@ -1,0 +1,107 @@
+"""Extra comparators beyond the paper's Table 2 (related-work methods).
+
+Benchmarks the extension algorithms on a few representative graphs:
+
+* ``algebraic`` — Buluç–Gilbert CombBLAS-style batched BC (paper §6
+  [23]); batching amortises per-level overhead, making it the fastest
+  *non-decomposing* method in this Python setting.
+* ``sampling`` — the §5.2 GPU-sampling comparison row (k = n/10
+  pivots), reported with its rank correlation against exact scores.
+* edge betweenness — the Girvan–Newman quantity, exercised at suite
+  scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    algebraic_bc,
+    brandes_bc,
+    edge_betweenness_bc,
+    sampling_bc,
+)
+from repro.bench.report import render_table
+from repro.bench.runner import time_algorithm
+from repro.bench.workloads import bench_graph_names, get_graph
+
+from conftest import one_shot
+
+_GRAPHS = [
+    n
+    for n in ("Email-Enron", "WikiTalk", "USA-roadNY")
+    if n in bench_graph_names()
+] or bench_graph_names()[:1]
+
+
+@pytest.mark.parametrize("name", _GRAPHS)
+def test_algebraic(benchmark, name):
+    graph = get_graph(name)
+    scores = one_shot(benchmark, algebraic_bc, graph)
+    serial = time_algorithm("serial", graph, graph_name=name)
+    assert np.allclose(scores, serial.scores, rtol=1e-6, atol=1e-5)
+    benchmark.group = f"extra-{name}"
+
+
+@pytest.mark.parametrize("name", _GRAPHS)
+def test_sampling(benchmark, name):
+    graph = get_graph(name)
+    k = max(graph.n // 10, 1)
+    est = one_shot(benchmark, sampling_bc, graph, k, seed=1)
+    serial = time_algorithm("serial", graph, graph_name=name)
+    corr = float(np.corrcoef(est, serial.scores)[0, 1])
+    assert corr > 0.7, f"sampling decorrelated on {name}: {corr:.3f}"
+    benchmark.group = f"extra-{name}"
+    benchmark.extra_info["corr_vs_exact"] = round(corr, 4)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in _GRAPHS if not get_graph(n).directed] or _GRAPHS[:1]
+)
+def test_treefold(benchmark, name):
+    from repro.core.treefold import treefold_bc
+
+    graph = get_graph(name)
+    if graph.directed:
+        pytest.skip("tree folding is undirected-only")
+    scores = one_shot(benchmark, treefold_bc, graph)
+    serial = time_algorithm("serial", graph, graph_name=name)
+    assert np.allclose(scores, serial.scores, rtol=1e-6, atol=1e-5)
+    benchmark.group = f"extra-{name}"
+
+
+@pytest.mark.parametrize("name", _GRAPHS[:1])
+def test_edge_betweenness(benchmark, name):
+    graph = get_graph(name)
+    scores = one_shot(benchmark, edge_betweenness_bc, graph)
+    assert scores.shape == (graph.num_arcs,)
+    benchmark.group = f"extra-{name}"
+
+
+def test_report_extra(benchmark, report, results_dir, capsys):
+    import time
+
+    rows = []
+    for name in _GRAPHS:
+        graph = get_graph(name)
+        serial = time_algorithm("serial", graph, graph_name=name)
+        t0 = time.perf_counter()
+        algebraic_bc(graph)
+        t_alg = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sampling_bc(graph, max(graph.n // 10, 1), seed=1)
+        t_smp = time.perf_counter() - t0
+        rows.append([name, serial.seconds, t_alg, t_smp])
+
+    def _build():
+        from repro.bench.runner import ExperimentResult
+
+        return ExperimentResult(
+            exp_id="Extra",
+            title="Related-work comparators (not in the paper's Table 2)",
+            headers=["Graph", "serial", "algebraic", "sampling(n/10)"],
+            rows=rows,
+            notes="algebraic = CombBLAS-style batched BC (paper ref [23])",
+        )
+
+    result = one_shot(benchmark, _build)
+    report(result)

@@ -1,0 +1,31 @@
+"""Figure 6 — speedups of every algorithm relative to serial.
+
+A ratio view over Table 2's memoised timings, rendered both as the
+numeric series and as ASCII bars per graph (the paper's bar chart).
+"""
+
+from repro.bench.experiments import fig6
+from repro.bench.report import render_bars
+
+from conftest import one_shot
+
+
+def test_report_fig6(benchmark, report, results_dir, capsys):
+    result = one_shot(benchmark, fig6)
+    # APGRE (column 1) must be the best exact algorithm on most graphs
+    wins = 0
+    for row in result.rows:
+        speedups = [s for s in row[1:] if s is not None]
+        if row[1] == max(speedups):
+            wins += 1
+    assert wins >= len(result.rows) * 0.7, "APGRE lost too many graphs"
+    report(result)
+    # bar-chart rendering of the APGRE column
+    labels = [row[0] for row in result.rows]
+    values = [row[1] for row in result.rows]
+    bars = render_bars(
+        "Figure 6 (bars): APGRE speedup over serial", labels, values, unit="x"
+    )
+    (results_dir / "figure6_bars.txt").write_text(bars + "\n")
+    with capsys.disabled():
+        print(f"\n{bars}\n")

@@ -1,0 +1,27 @@
+"""Table 1 — the evaluation graph suite.
+
+Benchmarks analogue-graph construction per Table-1 row and emits the
+inventory table (analogue size next to the paper's original size).
+"""
+
+import pytest
+
+from repro.bench.experiments import table1
+from repro.bench.workloads import bench_graph_names, bench_scale
+from repro.generators.suite import analogue_graph
+
+from conftest import one_shot
+
+
+@pytest.mark.parametrize("name", bench_graph_names())
+def test_generate_graph(benchmark, name):
+    graph = one_shot(benchmark, analogue_graph, name, scale=bench_scale())
+    assert graph.n > 0
+    benchmark.extra_info["vertices"] = graph.n
+    benchmark.extra_info["arcs"] = graph.num_arcs
+
+
+def test_report_table1(benchmark, report):
+    result = one_shot(benchmark, table1)
+    assert len(result.rows) == len(bench_graph_names())
+    report(result)

@@ -1,0 +1,44 @@
+"""Table 2 — execution time of every algorithm on every graph.
+
+One pytest-benchmark entry per (graph, algorithm) pair, matching the
+paper's Table-2 cells, plus the assembled table (with the average-
+speedup row) as a report. ``async`` runs only on the undirected
+graphs — the paper's '-' cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import get_algorithm
+from repro.bench.experiments import TABLE_ALGOS, table2
+from repro.bench.workloads import bench_graph_names, get_graph
+
+from conftest import one_shot
+
+
+def _pairs():
+    out = []
+    for name in bench_graph_names():
+        for algo in TABLE_ALGOS:
+            out.append((name, algo))
+    return out
+
+
+@pytest.mark.parametrize("name,algo", _pairs())
+def test_bc_time(benchmark, name, algo):
+    graph = get_graph(name)
+    if algo == "async" and graph.directed:
+        pytest.skip("async is undirected-only (the paper's '-' cells)")
+    fn = get_algorithm(algo)
+    scores = one_shot(benchmark, fn, graph)
+    assert scores.shape == (graph.n,)
+    assert np.all(scores >= -1e-9)
+    benchmark.group = name
+    benchmark.extra_info["graph"] = name
+    benchmark.extra_info["algorithm"] = algo
+
+
+def test_report_table2(benchmark, report):
+    result = one_shot(benchmark, table2)
+    assert result.rows[-1][0].startswith("Average")
+    report(result)

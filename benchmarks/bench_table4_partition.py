@@ -1,0 +1,38 @@
+"""Table 4 — sub-graph sizes produced by GraphPartition.
+
+Benchmarks the decomposition itself (Algorithm 1 + α/β counting) per
+graph and emits the paper's sub-graph size table.
+"""
+
+import pytest
+
+from repro.bench.experiments import table4
+from repro.bench.workloads import bench_graph_names, get_graph
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import graph_partition
+
+from conftest import one_shot
+
+
+def _decompose(graph):
+    partition = graph_partition(graph)
+    compute_alpha_beta(graph, partition)
+    return partition
+
+
+@pytest.mark.parametrize("name", bench_graph_names())
+def test_partition_time(benchmark, name):
+    graph = get_graph(name)
+    partition = one_shot(benchmark, _decompose, graph)
+    partition.validate()
+    benchmark.extra_info["num_subgraphs"] = partition.num_subgraphs
+
+
+def test_report_table4(benchmark, report):
+    result = one_shot(benchmark, table4)
+    # the top sub-graph dominates on every suite graph (paper: "The
+    # top sub-graph is larger than other sub-graphs")
+    for row in result.rows:
+        top_v, second_v = row[2], row[6]
+        assert top_v >= second_v
+    report(result)

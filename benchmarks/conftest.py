@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Workload size honours ``REPRO_SCALE`` / ``REPRO_GRAPHS`` (see
+:mod:`repro.bench.workloads`). Every experiment's rendered table is
+echoed to the terminal *and* written to ``benchmarks/results/<id>.txt``
+so a run leaves a reviewable artifact mirroring the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, capsys):
+    """Persist and display an ExperimentResult."""
+
+    def _report(result) -> None:
+        text = result.render()
+        safe_id = result.exp_id.lower().replace(" ", "")
+        (results_dir / f"{safe_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Exact BC runs are seconds-long and deterministic in shape;
+    one round keeps the full suite's wall time sane.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

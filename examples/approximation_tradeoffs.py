@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Approximation quality vs. cost: sampling pivots against exact APGRE.
+
+The paper's related work surveys approximation algorithms that trade
+exactness for speed (§6); its §5.2 compares against GPU sampling rates.
+This example quantifies that trade-off end to end on an analogue graph:
+
+1. compute exact BC once (APGRE);
+2. sweep the sampling pivot count k;
+3. report, per k: wall time, Pearson/Kendall correlation, and the
+   top-10% overlap — the metric that matters for "find the critical
+   vertices" workloads.
+
+Run:  python examples/approximation_tradeoffs.py [graph-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import apgre_bc
+from repro.baselines import sampling_bc
+from repro.bench.report import render_table
+from repro.generators import analogue_graph, suite_names
+from repro.metrics.comparison import compare_scores
+from repro.metrics.timers import stopwatch
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "com-youtube"
+    if name not in suite_names():
+        print(f"unknown graph {name!r}; choose from: {', '.join(suite_names())}")
+        raise SystemExit(2)
+    graph = analogue_graph(name, scale=0.75)
+    print(f"{name} analogue: {graph}")
+
+    with stopwatch() as t_exact:
+        exact = apgre_bc(graph)
+    print(f"exact BC via APGRE: {t_exact.seconds:.2f}s\n")
+
+    rows = []
+    for frac in (0.02, 0.05, 0.1, 0.2, 0.5):
+        k = max(int(graph.n * frac), 1)
+        with stopwatch() as t:
+            estimate = sampling_bc(graph, k, seed=7)
+        cmp = compare_scores(exact, estimate)
+        rows.append(
+            [
+                f"{frac:.0%} (k={k})",
+                t.seconds,
+                f"{t_exact.seconds / t.seconds:.1f}x",
+                cmp.pearson,
+                cmp.kendall,
+                cmp.top10_overlap,
+            ]
+        )
+    print(
+        render_table(
+            f"Sampling quality vs cost on {name}",
+            ["pivots", "seconds", "vs exact", "pearson", "kendall",
+             "top-10% overlap"],
+            rows,
+            notes="exact reference computed by APGRE; seed fixed for "
+            "reproducibility",
+        )
+    )
+
+    # the usual reading: ~10% pivots already ranks the head correctly
+    ten = rows[2]
+    print(
+        f"\nat 10% pivots the estimate runs {ten[2]} faster and still "
+        f"overlaps {float(ten[5]):.0%} of the true top-10% set"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Power-grid contingency screening with betweenness centrality.
+
+The paper's introduction cites "contingency analysis for power grid
+component failures" (Jin et al., IPDPS'10) as a BC application: buses
+whose removal most disrupts shortest electrical paths are the ones to
+watch. This example builds a synthetic transmission grid — meshed
+regional networks joined by inter-tie lines, with radial distribution
+feeders hanging off substations — then:
+
+1. ranks buses by exact BC (APGRE; the radial feeders are exactly the
+   pendant/articulation structure APGRE eliminates),
+2. simulates an N-1 contingency for the top-ranked buses, measuring
+   how many bus pairs lose connectivity when each fails.
+
+Run:  python examples/power_grid_contingency.py
+"""
+
+import numpy as np
+
+from repro import apgre_bc, apgre_bc_detailed
+from repro.graph import CSRGraph, connected_components, from_edges
+from repro.graph.ops import induced_subgraph
+from repro.types import as_rng
+
+
+def synthetic_grid(
+    regions: int = 4,
+    buses_per_region: int = 30,
+    feeders_per_region: int = 12,
+    seed: int = 13,
+) -> CSRGraph:
+    """Meshed regions + inter-ties + radial feeders."""
+    rng = as_rng(seed)
+    edges = []
+    offset = 0
+    gateways = []
+    for _r in range(regions):
+        ids = np.arange(offset, offset + buses_per_region)
+        # a ring for reliability, plus random internal meshing
+        for i in range(buses_per_region):
+            edges.append((int(ids[i]), int(ids[(i + 1) % buses_per_region])))
+        for _ in range(buses_per_region // 2):
+            a, b = rng.integers(0, buses_per_region, size=2)
+            if a != b:
+                edges.append((int(ids[a]), int(ids[b])))
+        gateways.append(int(ids[rng.integers(0, buses_per_region)]))
+        offset += buses_per_region
+    # inter-ties: a sparse chain of single lines between regions —
+    # their endpoints become articulation points
+    for r in range(1, regions):
+        edges.append((gateways[r - 1], gateways[r]))
+    # radial feeders: short pendant chains off random buses
+    n_core = offset
+    for _r in range(regions):
+        for _f in range(feeders_per_region):
+            anchor = int(rng.integers(0, n_core))
+            length = int(rng.integers(1, 4))
+            prev = anchor
+            for _hop in range(length):
+                edges.append((prev, offset))
+                prev = offset
+                offset += 1
+    return from_edges(edges, n=offset, directed=False)
+
+
+def pairs_disconnected(graph: CSRGraph, bus: int) -> int:
+    """Connected bus pairs lost when ``bus`` fails (N-1 contingency)."""
+    def connected_pairs(g: CSRGraph) -> int:
+        labels, k = connected_components(g)
+        sizes = np.bincount(labels, minlength=k)
+        return int(np.sum(sizes * (sizes - 1)))  # ordered pairs
+
+    before = connected_pairs(graph)
+    keep = np.delete(np.arange(graph.n), bus)
+    after = connected_pairs(induced_subgraph(graph, keep))
+    # pairs involving the failed bus itself disappear trivially;
+    # subtract them so the score isolates collateral disconnection
+    labels, _ = connected_components(graph)
+    comp_size = int(np.sum(labels == labels[bus]))
+    trivial = 2 * (comp_size - 1)
+    return before - after - trivial
+
+
+def main() -> None:
+    grid = synthetic_grid()
+    print(f"synthetic grid: {grid}")
+
+    result = apgre_bc_detailed(grid)
+    scores = result.scores
+    print(
+        f"decomposition: {result.stats.num_subgraphs} sub-graphs, "
+        f"{result.stats.num_removed_pendants} feeder buses eliminated "
+        f"as redundant sources"
+    )
+
+    ranked = np.argsort(-scores)[:8]
+    print("\ncontingency screen (top-BC buses):")
+    print(f"{'bus':>5s} {'BC':>12s} {'pairs lost if bus fails':>24s}")
+    for bus in ranked.tolist():
+        lost = pairs_disconnected(grid, bus)
+        print(f"{bus:>5d} {scores[bus]:>12.1f} {lost:>24d}")
+
+    # sanity: the screen should surface the inter-tie gateways —
+    # exactly the articulation points APGRE decomposed on
+    from repro.decompose import articulation_points
+
+    arts = set(articulation_points(grid).tolist())
+    hits = sum(1 for b in ranked.tolist() if int(b) in arts)
+    print(
+        f"\n{hits}/{ranked.size} of the top-BC buses are articulation "
+        f"points of the grid (single points of regional failure)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Road-network analysis: critical intersections and bridge districts.
+
+The paper evaluates on the DIMACS USA road networks (Table 1) and notes
+that even non-power-law road graphs carry 5–23% eliminable redundancy
+(§5.3). This example builds a districted road network (street grids
+joined by bridges, with cul-de-sacs), writes/reads it through the
+DIMACS ``.gr`` format the real datasets use, and finds the critical
+intersections.
+
+Run:  python examples/road_network.py
+"""
+
+import io
+
+import numpy as np
+
+from repro import apgre_bc_detailed, brandes_bc
+from repro.generators import districted_road_graph
+from repro.io import read_dimacs, write_dimacs
+from repro.metrics.redundancy import measure_redundancy
+from repro.metrics.teps import graph_mteps
+from repro.metrics.timers import stopwatch
+
+
+def main() -> None:
+    city = districted_road_graph(
+        n_districts=4, district_rows=14, district_cols=14, seed=21
+    )
+    print(f"road network: {city} (4 districts joined by bridges)")
+
+    # --- DIMACS round trip (what the real USA-road files look like) ---------
+    buf = io.StringIO()
+    write_dimacs(city, buf)
+    buf.seek(0)
+    reloaded = read_dimacs(buf, directed=False)
+    assert reloaded == city
+    header = buf.getvalue().splitlines()[1]
+    print(f"DIMACS round-trip ok ({header!r})")
+
+    # --- exact BC, timed both ways ------------------------------------------
+    with stopwatch() as t_apgre:
+        result = apgre_bc_detailed(city)
+    with stopwatch() as t_serial:
+        reference = brandes_bc(city)
+    assert np.allclose(result.scores, reference)
+    print(
+        f"\nAPGRE  : {t_apgre.seconds:6.2f}s "
+        f"({graph_mteps(city, t_apgre.seconds):7.1f} MTEPS)"
+    )
+    print(
+        f"serial : {t_serial.seconds:6.2f}s "
+        f"({graph_mteps(city, t_serial.seconds):7.1f} MTEPS)"
+    )
+    print(f"speedup: {t_serial.seconds / t_apgre.seconds:.2f}x")
+
+    # --- why it wins on a road graph (paper §5.3) ----------------------------
+    rb = measure_redundancy(city, name="road")
+    print(
+        f"\nredundancy on this road network: "
+        f"{rb.partial_fraction:.0%} partial (bridge districts), "
+        f"{rb.total_fraction:.0%} total (cul-de-sacs), "
+        f"{rb.essential_fraction:.0%} essential"
+    )
+
+    # --- the critical intersections -----------------------------------------
+    ranked = np.argsort(-result.scores)[:5]
+    print("\nmost critical intersections (highest BC):")
+    for v in ranked.tolist():
+        print(f"  intersection {v:4d}   bc = {result.scores[v]:10.1f}")
+
+
+if __name__ == "__main__":
+    main()

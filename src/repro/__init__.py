@@ -1,0 +1,90 @@
+"""repro — APGRE betweenness centrality (PPoPP 2016 reproduction).
+
+Articulation-points-guided redundancy elimination for exact betweenness
+centrality, plus the full substrate it needs: CSR graphs, vectorised
+traversals, biconnected decomposition, baselines, metrics and a
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import from_edges, apgre_bc
+
+    g = from_edges([(0, 1), (1, 2), (2, 3), (1, 3)], directed=False)
+    scores = apgre_bc(g)
+
+See README.md for the architecture overview, DESIGN.md for the paper
+mapping and EXPERIMENTS.md for reproduction results.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    AlgorithmError,
+    BenchmarkError,
+    GraphFormatError,
+    GraphValidationError,
+    PartitionError,
+    ReproError,
+)
+from repro.graph import (
+    CSRGraph,
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    empty_graph,
+)
+from repro.core import APGREConfig, BCResult, apgre_bc, apgre_bc_detailed
+from repro.baselines import (
+    async_bc,
+    brandes_bc,
+    brandes_python_bc,
+    hybrid_bc,
+    lockfree_bc,
+    preds_bc,
+    sampling_bc,
+    succs_bc,
+)
+from repro.decompose import (
+    articulation_points,
+    biconnected_components,
+    graph_partition,
+)
+from repro.io import load_graph, save_graph
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "PartitionError",
+    "AlgorithmError",
+    "BenchmarkError",
+    # graph
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "empty_graph",
+    # core
+    "APGREConfig",
+    "BCResult",
+    "apgre_bc",
+    "apgre_bc_detailed",
+    # baselines
+    "brandes_bc",
+    "brandes_python_bc",
+    "preds_bc",
+    "succs_bc",
+    "lockfree_bc",
+    "async_bc",
+    "hybrid_bc",
+    "sampling_bc",
+    # decomposition
+    "articulation_points",
+    "biconnected_components",
+    "graph_partition",
+    # io
+    "load_graph",
+    "save_graph",
+]

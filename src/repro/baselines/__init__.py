@@ -1,0 +1,69 @@
+"""Baseline BC algorithms (the paper's §5.1 comparators).
+
+Every algorithm in this package computes the same quantity — exact,
+unnormalised betweenness centrality over ordered vertex pairs — and is
+cross-checked against the others by the test suite. They differ in
+*how* the per-source work is organised, mirroring the parallelisation
+strategies the paper benchmarks against:
+
+===============  ====================================================
+``serial``        Brandes' algorithm, one source at a time
+                  (:func:`repro.baselines.brandes.brandes_bc`), plus a
+                  pure-Python exact-arithmetic oracle for tests.
+``preds``         Level-synchronous, predecessor lists (Bader–Madduri).
+``succs``         Level-synchronous, successor scans, no predecessor
+                  storage (Madduri et al.).
+``lockSyncFree``  Edge-parallel, conflict-free accumulation (Tan et
+                  al.).
+``async``         Asynchronous worklist dependency propagation
+                  (Prountzos–Pingali / Galois); undirected only, as in
+                  the paper.
+``hybrid``        Direction-optimising BFS (Shun–Blelloch / Ligra +
+                  Beamer).
+``sampling``      Source-sampled approximation (Bader et al.,
+                  Brandes–Pich) — the paper's §5.2 GPU-sampling
+                  comparison row.
+===============  ====================================================
+"""
+
+from repro.baselines.brandes import brandes_bc, brandes_python_bc
+from repro.baselines.preds import preds_bc
+from repro.baselines.succs import succs_bc
+from repro.baselines.lockfree import lockfree_bc
+from repro.baselines.async_bc import async_bc
+from repro.baselines.hybrid import hybrid_bc
+from repro.baselines.sampling import sampling_bc
+from repro.baselines.adaptive import AdaptiveEstimate, adaptive_bc
+from repro.baselines.pathsampling import (
+    PathSamplingResult,
+    path_sampling_bc,
+    vertex_diameter_bound,
+)
+from repro.baselines.algebraic import algebraic_bc
+from repro.baselines.edge_bc import edge_betweenness_bc, undirected_edge_scores
+from repro.baselines.weighted import dijkstra_sigma, weighted_brandes_bc
+from repro.baselines.registry import ALGORITHMS, get_algorithm, algorithm_names
+
+__all__ = [
+    "brandes_bc",
+    "brandes_python_bc",
+    "preds_bc",
+    "succs_bc",
+    "lockfree_bc",
+    "async_bc",
+    "hybrid_bc",
+    "sampling_bc",
+    "PathSamplingResult",
+    "path_sampling_bc",
+    "vertex_diameter_bound",
+    "AdaptiveEstimate",
+    "algebraic_bc",
+    "adaptive_bc",
+    "edge_betweenness_bc",
+    "undirected_edge_scores",
+    "dijkstra_sigma",
+    "weighted_brandes_bc",
+    "ALGORITHMS",
+    "get_algorithm",
+    "algorithm_names",
+]

@@ -1,0 +1,89 @@
+"""Brandes' sequential algorithm (the paper's ``serial`` baseline).
+
+Two implementations:
+
+* :func:`brandes_bc` — the array implementation used as the timed
+  ``serial`` row in the benchmark tables (single-threaded, one source
+  at a time, vectorised per level — equivalent in structure to the
+  paper's ``preds-serial`` SSCA baseline);
+* :func:`brandes_python_bc` — a straightforward pure-Python transcription
+  of Brandes (2001), optionally with exact :class:`fractions.Fraction`
+  arithmetic. Slow; exists as the precision/correctness oracle the
+  whole package is tested against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter, run_per_source
+from repro.graph.csr import CSRGraph
+from repro.types import SCORE_DTYPE
+
+__all__ = ["brandes_bc", "brandes_python_bc"]
+
+
+def brandes_bc(
+    graph: CSRGraph,
+    *,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """Exact BC via Brandes' algorithm (float64, unnormalised).
+
+    Ordered-pair convention: for undirected graphs every unordered
+    pair (s, t) contributes twice, matching the paper's definition
+    BC(v) = Σ_{s≠v≠t} σ_st(v)/σ_st over a directed view of the graph.
+    """
+    return run_per_source(graph, mode="arcs", counter=counter)
+
+
+def brandes_python_bc(graph: CSRGraph, *, exact: bool = False) -> np.ndarray:
+    """Pure-Python Brandes, the package's correctness oracle.
+
+    Parameters
+    ----------
+    graph:
+        Any graph; O(|V||E|) in Python bytecode, so keep |V| small
+        (tests use n <= ~200).
+    exact:
+        Use :class:`fractions.Fraction` for σ and δ — no floating
+        point anywhere. Used by the precision tests that bound the
+        float64 implementations' error.
+    """
+    n = graph.n
+    zero = Fraction(0) if exact else 0.0
+    one = Fraction(1) if exact else 1.0
+    bc = [zero] * n
+    for s in range(n):
+        # forward: BFS with path counting and predecessor lists
+        dist = [-1] * n
+        sigma = [zero] * n
+        preds: list[list[int]] = [[] for _ in range(n)]
+        dist[s] = 0
+        sigma[s] = one
+        order = []
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in graph.out_neighbors(v).tolist():
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+                if dist[w] == dist[v] + 1:
+                    sigma[w] = sigma[w] + sigma[v]
+                    preds[w].append(v)
+        # backward: dependency accumulation in reverse BFS order
+        delta = [zero] * n
+        for w in reversed(order):
+            for v in preds[w]:
+                delta[v] = delta[v] + sigma[v] / sigma[w] * (one + delta[w])
+            if w != s:
+                bc[w] = bc[w] + delta[w]
+    if exact:
+        return np.asarray([float(x) for x in bc], dtype=SCORE_DTYPE)
+    return np.asarray(bc, dtype=SCORE_DTYPE)

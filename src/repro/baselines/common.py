@@ -1,0 +1,164 @@
+"""Shared machinery for the baseline BC algorithms.
+
+All level-synchronous baselines share the same skeleton (Brandes'
+two-phase structure); they differ in how the backward dependency
+accumulation locates shortest-path-DAG arcs:
+
+``"arcs"``
+    Replay the DAG arcs recorded during the forward phase —
+    functionally the *predecessor list* strategy (the lists are exactly
+    the per-level arc arrays).
+``"succs"``
+    Re-expand each level's out-neighbourhoods and keep arcs whose head
+    is one level deeper — the *successor* strategy: no stored lists,
+    extra edge traversals.
+``"edge"``
+    Scan the full arc array once per level and mask by level — the
+    edge-parallel, conflict-free strategy.
+
+The work counter records edges *examined* (the quantity behind the
+paper's MTEPS tables and redundancy breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import BFSResult, bfs_sigma, expand_frontier
+from repro.types import SCORE_DTYPE
+
+__all__ = [
+    "WorkCounter",
+    "accumulate_dependencies",
+    "per_source_delta",
+    "run_per_source",
+]
+
+
+@dataclass
+class WorkCounter:
+    """Mutable tally of edges examined by an algorithm run."""
+
+    edges: int = 0
+
+    def add(self, k: int) -> None:
+        self.edges += int(k)
+
+
+def accumulate_dependencies(
+    graph: CSRGraph,
+    res: BFSResult,
+    *,
+    mode: str = "succs",
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """Backward phase: compute δ_s(v) for one source's BFS result.
+
+    Implements the recursion δ_s(v) = Σ_w (σ_sv/σ_sw)(1 + δ_s(w)) one
+    level at a time, deepest first; arcs within a level step never
+    depend on each other, so each step is a single vectorised
+    gather/scatter (the paper's "for all v ∈ Levels[currLevel] in
+    parallel").
+    """
+    n = graph.n
+    delta = np.zeros(n, dtype=SCORE_DTYPE)
+    sigma = res.sigma
+    dist = res.dist
+    depth = res.depth
+    if mode == "arcs":
+        if res.level_arcs is None:
+            raise AlgorithmError("mode='arcs' needs keep_level_arcs=True")
+        for d in range(depth - 1, -1, -1):
+            src, dst = res.level_arcs[d]
+            if counter is not None:
+                counter.add(src.size)
+            if src.size == 0:
+                continue
+            contrib = sigma[src] / sigma[dst] * (1.0 + delta[dst])
+            np.add.at(delta, src, contrib)
+    elif mode == "succs":
+        for d in range(depth - 1, -1, -1):
+            frontier = res.levels[d]
+            dst, src = expand_frontier(
+                graph.out_indptr, graph.out_indices, frontier
+            )
+            if counter is not None:
+                counter.add(dst.size)
+            keep = dist[dst] == d + 1
+            src, dst = src[keep], dst[keep]
+            if src.size == 0:
+                continue
+            contrib = sigma[src] / sigma[dst] * (1.0 + delta[dst])
+            np.add.at(delta, src, contrib)
+    elif mode == "edge":
+        all_src, all_dst = graph.arcs()
+        for d in range(depth - 1, -1, -1):
+            if counter is not None:
+                counter.add(all_src.size)
+            keep = (dist[all_src] == d) & (dist[all_dst] == d + 1)
+            src, dst = all_src[keep], all_dst[keep]
+            if src.size == 0:
+                continue
+            contrib = sigma[src] / sigma[dst] * (1.0 + delta[dst])
+            np.add.at(delta, src, contrib)
+    else:
+        raise AlgorithmError(f"unknown accumulation mode {mode!r}")
+    return delta
+
+
+def per_source_delta(
+    graph: CSRGraph,
+    source: int,
+    *,
+    mode: str = "succs",
+    forward: Callable[..., BFSResult] = bfs_sigma,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """δ_s(·) for one source: forward BFS + backward accumulation."""
+    res = forward(graph, source, keep_level_arcs=(mode == "arcs"))
+    if counter is not None:
+        counter.add(res.edges_traversed)
+    return accumulate_dependencies(graph, res, mode=mode, counter=counter)
+
+
+def run_per_source(
+    graph: CSRGraph,
+    *,
+    sources: Optional[Sequence[int]] = None,
+    mode: str = "succs",
+    forward: Callable[..., BFSResult] = bfs_sigma,
+    counter: Optional[WorkCounter] = None,
+    workers: int = 1,
+) -> np.ndarray:
+    """Sum per-source dependencies into BC scores.
+
+    ``workers > 1`` distributes sources over a fork-based process pool
+    (coarse-grained parallelism — the strategy available to Python
+    given the GIL; see DESIGN.md §5). Edge counters only aggregate in
+    the single-process path: with workers the counts stay in the
+    children, so pass ``workers=1`` when instrumenting.
+    """
+    n = graph.n
+    if sources is None:
+        source_list: Sequence[int] = range(n)
+    else:
+        source_list = sources
+    if workers > 1:
+        from repro.parallel.pool import map_sources_bc
+
+        return map_sources_bc(
+            graph, list(source_list), mode=mode, forward=forward, workers=workers
+        )
+    bc = np.zeros(n, dtype=SCORE_DTYPE)
+    for s in source_list:
+        delta = per_source_delta(
+            graph, int(s), mode=mode, forward=forward, counter=counter
+        )
+        delta[s] = 0.0
+        bc += delta
+    return bc

@@ -1,0 +1,35 @@
+"""Predecessor-list level-synchronous BC (the paper's ``preds``).
+
+Bader & Madduri's ICPP'06 parallelisation (the SSCA v2.2 kernel): the
+forward BFS records, for every vertex, its shortest-path predecessors;
+the backward phase walks levels deepest-first, each vertex pulling
+contributions from its stored predecessor arcs. Here the per-level
+predecessor arcs are exactly the ``level_arcs`` recorded by
+:func:`repro.graph.traversal.bfs_sigma`, and the per-level parallel-for
+is a vectorised scatter-add (see DESIGN.md §5 for the parallelism
+mapping). ``workers > 1`` adds coarse-grained source parallelism over
+a process pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter, run_per_source
+from repro.graph.csr import CSRGraph
+
+__all__ = ["preds_bc"]
+
+
+def preds_bc(
+    graph: CSRGraph,
+    *,
+    workers: int = 1,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """Exact BC with stored predecessor arcs (Bader–Madduri)."""
+    return run_per_source(
+        graph, mode="arcs", workers=workers, counter=counter
+    )

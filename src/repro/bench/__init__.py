@@ -1,0 +1,51 @@
+"""Benchmark harness regenerating the paper's evaluation section.
+
+Every table and figure of §5 has an experiment here (see DESIGN.md §4
+for the index):
+
+* Tables 1–4: :func:`repro.bench.experiments.table1` … ``table4``;
+* Figures 6–10: ``fig6`` … ``fig10``;
+* Ablations (ours): ``ablation_threshold``, ``ablation_features``.
+
+Each experiment returns an :class:`~repro.bench.runner.ExperimentResult`
+with headers/rows mirroring the paper's layout, renderable with
+:func:`repro.bench.report.render_table`. The ``benchmarks/`` directory
+wires them into pytest-benchmark; the CLI (``repro-bc bench``) runs
+them standalone.
+
+Workload size scales with the ``REPRO_SCALE`` environment variable
+(default 1.0) and can be restricted with ``REPRO_GRAPHS`` (comma-
+separated Table-1 names).
+"""
+
+from repro.bench.registry import EXPERIMENTS, get_experiment, experiment_ids
+from repro.bench.runner import ExperimentResult, MeasuredRun, time_algorithm
+from repro.bench.persistence import diff_results, load_results, save_results
+from repro.bench.report import render_table, render_bars, render_lines
+from repro.bench.workloads import (
+    bench_scale,
+    bench_graph_names,
+    get_graph,
+    get_suite,
+    scaling_graph,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "experiment_ids",
+    "ExperimentResult",
+    "MeasuredRun",
+    "time_algorithm",
+    "render_table",
+    "render_bars",
+    "render_lines",
+    "save_results",
+    "load_results",
+    "diff_results",
+    "bench_scale",
+    "bench_graph_names",
+    "get_graph",
+    "get_suite",
+    "scaling_graph",
+]

@@ -1,0 +1,134 @@
+"""Saving, loading and diffing experiment results.
+
+A benchmark run is only useful if you can compare it to the last one.
+``save_results``/``load_results`` serialise a set of
+:class:`~repro.bench.runner.ExperimentResult` tables to a single JSON
+document (with a schema version and the active scale/graph selection),
+and ``diff_results`` reports which numeric cells moved by more than a
+tolerance — the regression check for "did my change slow APGRE down".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.bench.runner import ExperimentResult
+from repro.errors import BenchmarkError
+
+__all__ = ["save_results", "load_results", "diff_results", "CellChange"]
+
+_SCHEMA_VERSION = 1
+
+
+def save_results(
+    results: Sequence[ExperimentResult],
+    path: Union[str, Path],
+    *,
+    metadata: Dict | None = None,
+) -> None:
+    """Write experiment results (plus optional run metadata) as JSON."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "experiments": [
+            {
+                "exp_id": r.exp_id,
+                "title": r.title,
+                "headers": list(r.headers),
+                "rows": [list(row) for row in r.rows],
+                "notes": r.notes,
+            }
+            for r in results
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=str))
+
+
+def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Read experiment results written by :func:`save_results`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchmarkError(f"cannot read results file {path}: {exc}") from exc
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise BenchmarkError(
+            f"unsupported results schema {payload.get('schema')!r}"
+        )
+    return [
+        ExperimentResult(
+            exp_id=e["exp_id"],
+            title=e["title"],
+            headers=e["headers"],
+            rows=e["rows"],
+            notes=e.get("notes", ""),
+        )
+        for e in payload["experiments"]
+    ]
+
+
+@dataclass
+class CellChange:
+    """One numeric cell that moved between two runs."""
+
+    exp_id: str
+    row_label: str
+    column: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        """after / before (guarded; 0-before cells report inf)."""
+        return self.after / self.before if self.before else float("inf")
+
+
+def diff_results(
+    old: Sequence[ExperimentResult],
+    new: Sequence[ExperimentResult],
+    *,
+    rel_tolerance: float = 0.25,
+) -> List[CellChange]:
+    """Numeric cells differing by more than ``rel_tolerance``.
+
+    Rows are matched by their first cell, experiments by id; cells
+    present on only one side are ignored (layout changes are not
+    regressions). Timing noise on small runs is real — the default
+    tolerance is deliberately loose.
+    """
+    changes: List[CellChange] = []
+    new_by_id = {r.exp_id: r for r in new}
+    for old_result in old:
+        new_result = new_by_id.get(old_result.exp_id)
+        if new_result is None:
+            continue
+        new_rows = {str(row[0]): row for row in new_result.rows if row}
+        for old_row in old_result.rows:
+            if not old_row:
+                continue
+            new_row = new_rows.get(str(old_row[0]))
+            if new_row is None:
+                continue
+            for idx, header in enumerate(old_result.headers):
+                if idx >= len(old_row) or idx >= len(new_row) or idx == 0:
+                    continue
+                before, after = old_row[idx], new_row[idx]
+                if not (
+                    isinstance(before, (int, float))
+                    and isinstance(after, (int, float))
+                ):
+                    continue
+                base = max(abs(float(before)), 1e-12)
+                if abs(float(after) - float(before)) / base > rel_tolerance:
+                    changes.append(
+                        CellChange(
+                            exp_id=old_result.exp_id,
+                            row_label=str(old_row[0]),
+                            column=header,
+                            before=float(before),
+                            after=float(after),
+                        )
+                    )
+    return changes

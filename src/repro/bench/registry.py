@@ -1,0 +1,47 @@
+"""Experiment registry: paper table/figure id → experiment function."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench import experiments as _exp
+from repro.bench.runner import ExperimentResult
+from repro.errors import BenchmarkError
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "get_experiment"]
+
+#: id → zero-argument experiment callable.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": _exp.table1,
+    "table2": _exp.table2,
+    "table3": _exp.table3,
+    "table4": _exp.table4,
+    "fig6": _exp.fig6,
+    "fig7": _exp.fig7,
+    "fig8": _exp.fig8,
+    "fig9": _exp.fig9,
+    "fig10": _exp.fig10,
+    "ablation-threshold": _exp.ablation_threshold,
+    "ablation-features": _exp.ablation_features,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All known experiment ids, tables first."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Callable[[], ExperimentResult]:
+    """Look an experiment up by id.
+
+    Raises
+    ------
+    BenchmarkError
+        For unknown ids (message lists the valid ones).
+    """
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,135 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints tables whose rows/columns mirror the paper's, so a
+side-by-side comparison with the PDF is a diff, not a decoding
+exercise. Figures (bar/line charts in the paper) are rendered as
+numeric series plus ASCII bars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_bars", "render_lines", "format_value"]
+
+
+def format_value(value, *, width: int = 0) -> str:
+    """Uniform cell formatting: floats to 4 significant digits,
+    fractions already formatted upstream, ``None`` as the paper's
+    '-' placeholder."""
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        if value == 0:
+            text = "0"
+        elif abs(value) >= 1000:
+            text = f"{value:,.0f}"
+        elif abs(value) >= 1:
+            text = f"{value:.2f}"
+        else:
+            text = f"{value:.4f}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    notes: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [
+        [format_value(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    if notes:
+        lines.append("")
+        for note_line in notes.splitlines():
+            lines.append(f"  note: {note_line}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (for figure-style results)."""
+    vmax = max((abs(v) for v in values), default=0.0) or 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(abs(value) / vmax * width)), 0)
+        lines.append(
+            f"{label.ljust(label_w)} | {bar} {format_value(float(value))}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_lines(
+    title: str,
+    x_values: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    *,
+    height: int = 12,
+    width: int = 48,
+) -> str:
+    """ASCII line chart: one glyph per series over a shared x-axis.
+
+    Used for the scaling figures (speedup vs worker count). Values are
+    linearly binned onto a ``height × width`` character grid; each
+    series draws with its own marker, collisions show the later series.
+    """
+    glyphs = "ox+*#@%&"
+    all_vals = [v for vals in series.values() for v in vals if v is not None]
+    if not all_vals or not x_values:
+        return f"{title}\n(no data)"
+    vmax = max(all_vals)
+    vmin = min(0.0, min(all_vals))
+    span = (vmax - vmin) or 1.0
+    xmin, xmax = min(x_values), max(x_values)
+    xspan = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for x, v in zip(x_values, vals):
+            if v is None:
+                continue
+            col = int(round((x - xmin) / xspan * (width - 1)))
+            row = height - 1 - int(round((v - vmin) / span * (height - 1)))
+            grid[row][col] = glyph
+    lines = [title, "=" * len(title)]
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = format_value(float(vmax))
+        elif r == height - 1:
+            label = format_value(float(vmin))
+        lines.append(f"{label:>8s} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        f"{'':9s} x: {format_value(float(xmin))} .. "
+        f"{format_value(float(xmax))}"
+    )
+    for si, name in enumerate(series):
+        lines.append(f"{'':9s} {glyphs[si % len(glyphs)]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Benchmark workload construction and caching.
+
+Graphs are deterministic for a given scale, so one process-wide cache
+serves every experiment; partitions (with α/β filled) are cached too,
+letting the scaling benchmarks time only the phase they sweep.
+
+Environment knobs:
+
+``REPRO_SCALE``
+    Float multiplier on every analogue graph's size (default 1.0).
+    ``REPRO_SCALE=2`` roughly quadruples BC work.
+``REPRO_GRAPHS``
+    Comma-separated Table-1 names to restrict the suite (default all
+    12), e.g. ``REPRO_GRAPHS=Email-Enron,USA-roadNY pytest benchmarks``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.core.config import APGREConfig
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import Partition, graph_partition
+from repro.errors import BenchmarkError
+from repro.generators.suite import analogue_graph, suite_names
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "bench_scale",
+    "get_redundancy",
+    "bench_graph_names",
+    "get_graph",
+    "get_suite",
+    "get_partition",
+    "scaling_graph",
+]
+
+_GRAPH_CACHE: Dict[Tuple[str, float], CSRGraph] = {}
+_PARTITION_CACHE: Dict[Tuple[str, float, int, str], Partition] = {}
+_REDUNDANCY_CACHE: Dict[Tuple[str, float], object] = {}
+
+
+def bench_scale() -> float:
+    """The active ``REPRO_SCALE`` (validated)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise BenchmarkError(f"REPRO_SCALE must be a float, got {raw!r}")
+    if scale <= 0:
+        raise BenchmarkError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+def bench_graph_names() -> List[str]:
+    """Suite names selected by ``REPRO_GRAPHS`` (default: all 12)."""
+    raw = os.environ.get("REPRO_GRAPHS", "").strip()
+    if not raw:
+        return suite_names()
+    names = [part.strip() for part in raw.split(",") if part.strip()]
+    unknown = [n for n in names if n not in suite_names()]
+    if unknown:
+        raise BenchmarkError(
+            f"REPRO_GRAPHS contains unknown graphs: {', '.join(unknown)}"
+        )
+    return names
+
+
+def get_graph(name: str, *, scale: float | None = None) -> CSRGraph:
+    """One analogue graph, cached per (name, scale)."""
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = analogue_graph(name, scale=scale)
+    return _GRAPH_CACHE[key]
+
+
+def get_suite(*, scale: float | None = None) -> Dict[str, CSRGraph]:
+    """The selected suite graphs in Table-1 order."""
+    return {name: get_graph(name, scale=scale) for name in bench_graph_names()}
+
+
+def get_partition(
+    name: str,
+    *,
+    scale: float | None = None,
+    config: APGREConfig | None = None,
+) -> Partition:
+    """A cached partition with α/β filled for one suite graph."""
+    scale = bench_scale() if scale is None else scale
+    config = config or APGREConfig()
+    key = (name, scale, config.threshold, config.alpha_beta_method)
+    if key not in _PARTITION_CACHE:
+        graph = get_graph(name, scale=scale)
+        partition = graph_partition(graph, threshold=config.threshold)
+        compute_alpha_beta(graph, partition, method=config.alpha_beta_method)
+        _PARTITION_CACHE[key] = partition
+    return _PARTITION_CACHE[key]
+
+
+def get_redundancy(name: str, *, scale: float | None = None):
+    """Cached Figure-7 redundancy breakdown for one suite graph.
+
+    The measurement costs roughly two BC forward phases, and both the
+    per-graph benchmark and the fig7 report need it — hence the cache.
+    """
+    from repro.metrics.redundancy import measure_redundancy
+
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale)
+    if key not in _REDUNDANCY_CACHE:
+        _REDUNDANCY_CACHE[key] = measure_redundancy(
+            get_graph(name, scale=scale), name=name
+        )
+    return _REDUNDANCY_CACHE[key]
+
+
+def scaling_graph() -> Tuple[str, CSRGraph]:
+    """The graph for the Figure-9/10 scaling study.
+
+    The paper uses dblp-2010 for Figure 9; its analogue is the natural
+    pick (large secondary sub-graph, so both parallelism levels
+    matter).
+    """
+    name = "dblp-2010"
+    return name, get_graph(name)

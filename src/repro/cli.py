@@ -1,0 +1,325 @@
+"""Command-line interface (installed as ``repro-bc``).
+
+Subcommands:
+
+``repro-bc compute GRAPH``
+    Exact BC of a graph file (edge list / DIMACS / MatrixMarket),
+    printing the top-k vertices.
+``repro-bc partition GRAPH``
+    Decomposition statistics (the Table-4 view) for one graph file.
+``repro-bc info GRAPH``
+    Structural summary (size, articulation points, pendant fraction).
+``repro-bc convert SRC DST``
+    Convert between edge list / DIMACS / MatrixMarket / npz formats.
+``repro-bc compare GRAPH``
+    Run two algorithms and report timing + score agreement.
+``repro-bc bench [EXPERIMENT ...]``
+    Run paper experiments (default: all tables and figures) and print
+    their tables; honours ``REPRO_SCALE``/``REPRO_GRAPHS``.
+``repro-bc suite``
+    List the analogue workload suite with sizes at the current scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bc`` argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc",
+        description="APGRE betweenness centrality (PPoPP'16 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-bc {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compute = sub.add_parser("compute", help="exact BC of a graph file")
+    p_compute.add_argument("graph", help="path to an edge list/.gr/.mtx file")
+    p_compute.add_argument(
+        "--directed",
+        action="store_true",
+        help="treat the input as directed (formats without directedness)",
+    )
+    p_compute.add_argument(
+        "--algorithm",
+        default="APGRE",
+        help="algorithm name (Table-2 spelling, default APGRE)",
+    )
+    p_compute.add_argument(
+        "--top", type=int, default=10, help="print the k highest-BC vertices"
+    )
+    p_compute.add_argument(
+        "--workers", type=int, default=1, help="worker processes for APGRE"
+    )
+
+    p_part = sub.add_parser("partition", help="decomposition statistics")
+    p_part.add_argument("graph", help="path to a graph file")
+    p_part.add_argument("--directed", action="store_true")
+    p_part.add_argument(
+        "--threshold", type=int, default=None, help="Algorithm-1 threshold"
+    )
+
+    p_info = sub.add_parser(
+        "info", help="structural statistics of a graph file"
+    )
+    p_info.add_argument("graph", help="path to a graph file")
+    p_info.add_argument("--directed", action="store_true")
+
+    p_conv = sub.add_parser(
+        "convert", help="convert between graph file formats"
+    )
+    p_conv.add_argument("source", help="input graph file")
+    p_conv.add_argument("target", help="output graph file")
+    p_conv.add_argument("--directed", action="store_true")
+    p_conv.add_argument(
+        "--to",
+        dest="target_format",
+        default="",
+        help="output format (default: by target extension)",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", help="compare two BC algorithms on a graph file"
+    )
+    p_cmp.add_argument("graph", help="path to a graph file")
+    p_cmp.add_argument(
+        "--reference", default="serial", help="reference algorithm"
+    )
+    p_cmp.add_argument(
+        "--candidate", default="APGRE", help="algorithm under test"
+    )
+    p_cmp.add_argument("--directed", action="store_true")
+
+    p_bench = sub.add_parser("bench", help="run paper experiments")
+    p_bench.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: every table and figure)",
+    )
+    p_bench.add_argument(
+        "--scale", type=float, default=None, help="override REPRO_SCALE"
+    )
+    p_bench.add_argument(
+        "--graphs", default=None, help="override REPRO_GRAPHS (comma list)"
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    p_bench.add_argument(
+        "--save",
+        default=None,
+        help="also write the results as JSON (for repro.bench.diff_results)",
+    )
+
+    sub.add_parser("suite", help="list the analogue workload suite")
+    sub.add_parser("selftest", help="quick end-to-end installation check")
+    return parser
+
+
+def _cmd_compute(args) -> int:
+    import numpy as np
+
+    from repro.baselines.registry import get_algorithm
+    from repro.io.registry import load_graph
+
+    graph = load_graph(args.graph, directed=args.directed)
+    fn = get_algorithm(args.algorithm)
+    kwargs = {}
+    if args.algorithm == "APGRE" and args.workers > 1:
+        kwargs = {"parallel": "processes", "workers": args.workers}
+    scores = fn(graph, **kwargs)
+    k = min(args.top, graph.n)
+    order = np.argsort(-scores)[:k]
+    print(f"# {args.algorithm} BC on {args.graph} "
+          f"(n={graph.n}, arcs={graph.num_arcs})")
+    print(f"{'vertex':>10s} {'bc':>16s}")
+    for v in order.tolist():
+        print(f"{v:>10d} {scores[v]:>16.4f}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.bench.report import render_table
+    from repro.decompose.partition import DEFAULT_THRESHOLD, graph_partition
+    from repro.io.registry import load_graph
+    from repro.metrics.stats import partition_stats
+
+    graph = load_graph(args.graph, directed=args.directed)
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    partition = graph_partition(graph, threshold=threshold)
+    stats = partition_stats(partition, name=os.path.basename(args.graph))
+    rows = [
+        [i + 1, row.num_vertices, row.num_arcs,
+         f"{row.vertex_fraction:.2%}", f"{row.arc_fraction:.2%}"]
+        for i, row in enumerate(stats.rows)
+    ]
+    print(
+        render_table(
+            f"Partition of {args.graph} "
+            f"(#SG={stats.num_subgraphs}, threshold={threshold})",
+            ["rank", "#V", "#E", "V/G.V", "E/G.E"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.io.registry import load_graph
+    from repro.metrics.stats import graph_stats
+
+    graph = load_graph(args.graph, directed=args.directed)
+    stats = graph_stats(graph, name=os.path.basename(args.graph))
+    print(f"# {stats.name}")
+    print(f"vertices             : {stats.num_vertices}")
+    print(f"arcs                 : {stats.num_arcs}")
+    print(f"directed             : {'yes' if stats.directed else 'no'}")
+    print(f"articulation points  : {stats.num_articulation_points}")
+    print(
+        f"pendant vertices     : {stats.num_pendants} "
+        f"({stats.pendant_fraction:.1%})"
+    )
+    print(f"max degree           : {stats.max_degree}")
+    print(f"mean degree          : {stats.mean_degree:.2f}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.io.binary import load_npz, save_npz
+    from repro.io.registry import load_graph, save_graph
+
+    if str(args.source).endswith(".npz"):
+        graph = load_npz(args.source)
+    else:
+        graph = load_graph(args.source, directed=args.directed)
+    if args.target_format == "npz" or (
+        not args.target_format and str(args.target).endswith(".npz")
+    ):
+        save_npz(graph, args.target)
+    else:
+        save_graph(graph, args.target, fmt=args.target_format)
+    print(
+        f"wrote {args.target} (n={graph.n}, arcs={graph.num_arcs}, "
+        f"{'directed' if graph.directed else 'undirected'})"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    import time
+
+    from repro.baselines.registry import get_algorithm
+    from repro.io.registry import load_graph
+    from repro.metrics.comparison import compare_scores
+
+    graph = load_graph(args.graph, directed=args.directed)
+    results = {}
+    for role, name in (("reference", args.reference),
+                       ("candidate", args.candidate)):
+        fn = get_algorithm(name)
+        t0 = time.perf_counter()
+        scores = fn(graph)
+        results[role] = (name, time.perf_counter() - t0, scores)
+    ref_name, ref_t, ref_scores = results["reference"]
+    cand_name, cand_t, cand_scores = results["candidate"]
+    cmp = compare_scores(ref_scores, cand_scores)
+    print(f"# {cand_name} vs {ref_name} on {args.graph}")
+    print(f"{ref_name:>16s} : {ref_t:.4f}s")
+    print(f"{cand_name:>16s} : {cand_t:.4f}s  (speedup {ref_t / cand_t:.2f}x)")
+    print(f"max abs diff     : {cmp.max_abs_diff:.3g}")
+    print(f"pearson          : {cmp.pearson:.4f}")
+    print(f"kendall tau      : {cmp.kendall:.4f}")
+    print(f"top-10% overlap  : {cmp.top10_overlap:.4f}")
+    print(f"exact match      : {'yes' if cmp.exact_match else 'no'}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.graphs is not None:
+        os.environ["REPRO_GRAPHS"] = args.graphs
+    from repro.bench.registry import experiment_ids, get_experiment
+
+    if args.list:
+        for exp_id in experiment_ids():
+            print(exp_id)
+        return 0
+    ids = args.experiments or experiment_ids()
+    results = []
+    for exp_id in ids:
+        result = get_experiment(exp_id)()
+        results.append(result)
+        print(result.render())
+        print()
+    if args.save:
+        from repro.bench.persistence import save_results
+        from repro.bench.workloads import bench_graph_names, bench_scale
+
+        save_results(
+            results,
+            args.save,
+            metadata={
+                "scale": bench_scale(),
+                "graphs": bench_graph_names(),
+            },
+        )
+        print(f"saved {len(results)} experiment(s) to {args.save}")
+    return 0
+
+
+def _cmd_selftest(_args) -> int:
+    from repro.selftest import run_selftest
+
+    print(run_selftest())
+    return 0
+
+
+def _cmd_suite(_args) -> int:
+    from repro.bench.report import render_table
+    from repro.bench.workloads import bench_scale, get_suite
+
+    rows = [
+        [name, g.n, g.num_arcs, "Y" if g.directed else "N"]
+        for name, g in get_suite().items()
+    ]
+    print(
+        render_table(
+            f"Analogue suite (scale={bench_scale()})",
+            ["Graph", "#V", "#arcs", "Directed"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compute": _cmd_compute,
+        "partition": _cmd_partition,
+        "info": _cmd_info,
+        "convert": _cmd_convert,
+        "compare": _cmd_compare,
+        "bench": _cmd_bench,
+        "suite": _cmd_suite,
+        "selftest": _cmd_selftest,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

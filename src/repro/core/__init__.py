@@ -1,0 +1,33 @@
+"""APGRE — the paper's contribution.
+
+* :mod:`repro.core.dependencies` — the four-dependency backward kernel
+  (paper equations 3–6);
+* :mod:`repro.core.bc_subgraph` — per-sub-graph BC (paper Algorithm 2,
+  with the R/γ total-redundancy elimination and the v==s merge rule of
+  equation 7);
+* :mod:`repro.core.apgre` — the three-step driver (Algorithm 5 /
+  Figure 5): decompose, count α/β, compute per-sub-graph scores and
+  merge (equation 8), with serial / process / thread execution modes;
+* :mod:`repro.core.config` / :mod:`repro.core.result` — options and
+  the instrumented result type.
+"""
+
+from repro.core.config import APGREConfig
+from repro.core.result import APGREStats, BCResult, PhaseTimings
+from repro.core.bc_subgraph import bc_subgraph
+from repro.core.apgre import apgre_bc, apgre_bc_detailed
+from repro.core.treefold import treefold_bc, peel_pendant_trees
+from repro.core.weighted_apgre import weighted_apgre_bc
+
+__all__ = [
+    "APGREConfig",
+    "APGREStats",
+    "BCResult",
+    "PhaseTimings",
+    "bc_subgraph",
+    "apgre_bc",
+    "apgre_bc_detailed",
+    "treefold_bc",
+    "peel_pendant_trees",
+    "weighted_apgre_bc",
+]

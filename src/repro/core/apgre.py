@@ -1,0 +1,202 @@
+"""The APGRE driver (paper Figure 5).
+
+Three steps:
+
+1. decompose the graph by articulation points (Algorithm 1 —
+   :func:`repro.decompose.partition.graph_partition`);
+2. count ``α_SGi(a)``/``β_SGi(a)`` for every boundary articulation
+   point (:func:`repro.decompose.alphabeta.compute_alpha_beta`);
+3. compute each sub-graph's scores with the four-dependency kernel
+   (:func:`repro.core.bc_subgraph.bc_subgraph`) and merge:
+   ``BC(v) = Σ_SGi BC_SGi(v)`` (equation 8 — articulation points sum
+   their per-sub-graph shares).
+
+Step 3 carries the coarse-grained parallelism: sub-graphs are
+independent ("coarse-grained asynchronous parallelism among
+sub-graphs"), dispatched largest-first over a fork-based process pool
+(``parallel="processes"``) or a thread pool (``parallel="threads"``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter
+from repro.core.bc_subgraph import bc_subgraph
+from repro.core.config import APGREConfig
+from repro.core.result import APGREStats, BCResult, PhaseTimings
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import Partition, graph_partition
+from repro.graph.csr import CSRGraph
+from repro.parallel.pool import fork_map, get_worker_state, thread_map
+from repro.parallel.scheduler import lpt_order
+from repro.types import SCORE_DTYPE
+
+__all__ = ["apgre_bc", "apgre_bc_detailed"]
+
+
+def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
+    """Worker body: one (sub-graph, root-slice) chunk's local scores."""
+    index, lo, hi = task
+    state = get_worker_state()
+    partition: Partition = state["partition"]
+    eliminate: bool = state["eliminate_pendants"]
+    sg = partition.subgraphs[index]
+    if eliminate:
+        all_roots = sg.roots
+    else:
+        all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
+    return index, bc_subgraph(
+        sg, eliminate_pendants=eliminate, roots=all_roots[lo:hi]
+    )
+
+
+def _make_tasks(
+    subgraphs, eliminate_pendants: bool, workers: int
+) -> List[Tuple[int, int, int]]:
+    """Split sub-graphs into (index, root_lo, root_hi) chunks.
+
+    Large sub-graphs are cut into ~``2 × workers`` root slices so the
+    dominant top sub-graph does not serialise the pool (the paper gets
+    the same effect from its fine-grained level); small sub-graphs stay
+    whole. Tasks are returned largest-estimated-work first (LPT).
+    """
+    tasks: List[Tuple[int, int, int]] = []
+    weights: List[float] = []
+    total_roots = sum(
+        (sg.roots.size if eliminate_pendants else sg.num_vertices)
+        for sg in subgraphs
+    )
+    chunk_target = max(total_roots // max(2 * workers, 1), 1)
+    for idx, sg in enumerate(subgraphs):
+        n_roots = sg.roots.size if eliminate_pendants else sg.num_vertices
+        if n_roots == 0:
+            continue
+        step = max(min(chunk_target, n_roots), 1)
+        for lo in range(0, n_roots, step):
+            hi = min(lo + step, n_roots)
+            tasks.append((idx, lo, hi))
+            weights.append((hi - lo) * max(sg.num_arcs, 1))
+    order = lpt_order(weights)
+    return [tasks[i] for i in order]
+
+
+def apgre_bc_detailed(
+    graph: CSRGraph,
+    config: Optional[APGREConfig] = None,
+    *,
+    partition: Optional[Partition] = None,
+) -> BCResult:
+    """Run APGRE and return scores plus phase timings and counters.
+
+    Parameters
+    ----------
+    graph:
+        Directed or undirected, connected or not.
+    config:
+        Run options; defaults to :class:`APGREConfig()`.
+    partition:
+        A pre-computed partition (with α/β already filled) to reuse
+        across runs — the scaling benchmarks pass this so worker-count
+        sweeps time only the BC phase they vary.
+    """
+    config = config or APGREConfig()
+    stats = APGREStats()
+    timings = stats.timings
+    counter = WorkCounter()
+
+    if partition is None:
+        t0 = time.perf_counter()
+        partition = graph_partition(graph, threshold=config.threshold)
+        timings.partition = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ab = compute_alpha_beta(
+            graph, partition, method=config.alpha_beta_method
+        )
+        timings.alpha_beta = time.perf_counter() - t0
+        stats.alpha_beta_pairs = ab.pairs
+        stats.alpha_beta_method = ab.method
+
+    subgraphs = partition.subgraphs
+    stats.num_subgraphs = len(subgraphs)
+    stats.num_articulation_points = int(partition.articulation_flags.sum())
+    stats.num_boundary_arts = int(partition.boundary_art_flags.sum())
+    if config.eliminate_pendants:
+        stats.num_removed_pendants = sum(sg.removed.size for sg in subgraphs)
+        stats.num_sources = sum(sg.roots.size for sg in subgraphs)
+    else:
+        stats.num_sources = sum(sg.num_vertices for sg in subgraphs)
+
+    bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    order = lpt_order([sg.num_arcs for sg in subgraphs])
+
+    if config.parallel == "serial" or config.workers <= 1:
+        for rank, idx in enumerate(order):
+            t0 = time.perf_counter()
+            local = bc_subgraph(
+                subgraphs[idx],
+                eliminate_pendants=config.eliminate_pendants,
+                counter=counter,
+            )
+            elapsed = time.perf_counter() - t0
+            if idx == 0:
+                timings.top_bc += elapsed
+            else:
+                timings.rest_bc += elapsed
+            bc[subgraphs[idx].vertices] += local
+    else:
+        t0 = time.perf_counter()
+        tasks = _make_tasks(
+            subgraphs, config.eliminate_pendants, config.workers
+        )
+        state = {
+            "partition": partition,
+            "eliminate_pendants": config.eliminate_pendants,
+        }
+        if config.parallel == "processes":
+            results = fork_map(
+                _subgraph_task, tasks, workers=config.workers, state=state
+            )
+        else:  # threads
+            from repro.parallel import pool as _pool
+
+            _pool._STATE.clear()
+            _pool._STATE.update(state)
+            results = thread_map(
+                _subgraph_task, tasks, workers=config.workers
+            )
+        timings.rest_bc = time.perf_counter() - t0
+        for idx, local in results:
+            bc[subgraphs[idx].vertices] += local
+
+    stats.edges_traversed = counter.edges
+    return BCResult(scores=bc, stats=stats)
+
+
+def apgre_bc(
+    graph: CSRGraph,
+    *,
+    threshold: Optional[int] = None,
+    parallel: str = "serial",
+    workers: int = 1,
+    eliminate_pendants: bool = True,
+    alpha_beta_method: str = "auto",
+) -> np.ndarray:
+    """Exact BC via APGRE — the convenience entry point.
+
+    Equivalent to ``apgre_bc_detailed(graph, APGREConfig(...)).scores``;
+    see :class:`repro.core.config.APGREConfig` for the options.
+    """
+    kwargs = dict(
+        parallel=parallel,
+        workers=workers,
+        eliminate_pendants=eliminate_pendants,
+        alpha_beta_method=alpha_beta_method,
+    )
+    if threshold is not None:
+        kwargs["threshold"] = threshold
+    return apgre_bc_detailed(graph, APGREConfig(**kwargs)).scores

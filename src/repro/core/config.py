@@ -1,0 +1,64 @@
+"""Configuration for the APGRE driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompose.partition import DEFAULT_THRESHOLD
+from repro.errors import AlgorithmError
+
+__all__ = ["APGREConfig"]
+
+_PARALLEL_MODES = ("serial", "processes", "threads")
+_AB_METHODS = ("auto", "bfs", "tree")
+
+
+@dataclass(frozen=True)
+class APGREConfig:
+    """Options controlling an APGRE run.
+
+    Attributes
+    ----------
+    threshold:
+        Algorithm-1 small-BCC merge threshold (vertices). Swept by the
+        threshold ablation benchmark.
+    alpha_beta_method:
+        ``"bfs"`` (the paper's blocked BFS), ``"tree"`` (this
+        reproduction's block-cut-tree DP, undirected only) or
+        ``"auto"`` (tree when undirected).
+    eliminate_pendants:
+        Enable the total-redundancy elimination (R/γ). Disabling it
+        runs every vertex as a source — the partial-redundancy-only
+        ablation.
+    parallel:
+        ``"serial"``, ``"processes"`` (coarse-grained sub-graph
+        parallelism over a fork pool — the paper's ``cilk_for`` level)
+        or ``"threads"`` (same tasks on a thread pool; GIL-bound, kept
+        for the scaling study).
+    workers:
+        Worker count for the parallel modes.
+    """
+
+    threshold: int = DEFAULT_THRESHOLD
+    alpha_beta_method: str = "auto"
+    eliminate_pendants: bool = True
+    parallel: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.parallel not in _PARALLEL_MODES:
+            raise AlgorithmError(
+                f"parallel must be one of {_PARALLEL_MODES}, "
+                f"got {self.parallel!r}"
+            )
+        if self.alpha_beta_method not in _AB_METHODS:
+            raise AlgorithmError(
+                f"alpha_beta_method must be one of {_AB_METHODS}, "
+                f"got {self.alpha_beta_method!r}"
+            )
+        if self.workers < 1:
+            raise AlgorithmError(f"workers must be >= 1, got {self.workers}")
+        if self.threshold < 0:
+            raise AlgorithmError(
+                f"threshold must be >= 0, got {self.threshold}"
+            )

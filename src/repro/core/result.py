@@ -1,0 +1,109 @@
+"""Result types for instrumented APGRE runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "PhaseTimings",
+    "APGREStats",
+    "BCResult",
+    "normalize_scores",
+    "to_networkx_convention",
+]
+
+
+def normalize_scores(scores: np.ndarray) -> np.ndarray:
+    """Rescale raw ordered-pair BC scores to [0, 1].
+
+    The raw convention in this package sums ``σ_st(v)/σ_st`` over all
+    ordered pairs ``s ≠ v ≠ t`` (the paper's definition), whose count
+    is ``(n-1)(n-2)`` — the standard normaliser for both directed and
+    undirected graphs (networkx's undirected normalisation, half the
+    pairs over halved scores, cancels to the same value).
+    """
+    n = scores.size
+    pairs = (n - 1) * (n - 2)
+    if pairs <= 0:
+        return scores.astype(np.float64, copy=True)
+    return scores / pairs
+
+
+def to_networkx_convention(
+    scores: np.ndarray, *, directed: bool
+) -> np.ndarray:
+    """Convert raw scores to networkx's unnormalised convention.
+
+    networkx counts each unordered pair once on undirected graphs, so
+    undirected scores are halved; directed scores pass through.
+    """
+    if directed:
+        return scores.astype(np.float64, copy=True)
+    return scores / 2.0
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per APGRE phase (paper Figure 8).
+
+    ``top_bc`` vs ``rest_bc`` splits the third phase between the top
+    sub-graph and all others — the quantity Figure 8 plots ("the BC
+    calculation of the top sub-graph is the majority of the total
+    execution time"). The split is measured in serial mode; parallel
+    modes report the whole phase under ``rest_bc``.
+    """
+
+    partition: float = 0.0
+    alpha_beta: float = 0.0
+    top_bc: float = 0.0
+    rest_bc: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.partition + self.alpha_beta + self.top_bc + self.rest_bc
+
+    def fractions(self) -> Dict[str, float]:
+        """Phase shares of total time (empty-total guard included)."""
+        t = self.total or 1.0
+        return {
+            "partition": self.partition / t,
+            "alpha_beta": self.alpha_beta / t,
+            "top_bc": self.top_bc / t,
+            "rest_bc": self.rest_bc / t,
+        }
+
+
+@dataclass
+class APGREStats:
+    """Counters describing one APGRE run."""
+
+    num_subgraphs: int = 0
+    num_articulation_points: int = 0
+    num_boundary_arts: int = 0
+    num_removed_pendants: int = 0
+    num_sources: int = 0
+    edges_traversed: int = 0
+    alpha_beta_pairs: int = 0
+    alpha_beta_method: str = ""
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+
+@dataclass
+class BCResult:
+    """Scores plus run statistics.
+
+    ``scores[v]`` is the exact unnormalised BC of vertex ``v`` (same
+    convention as every baseline in :mod:`repro.baselines`).
+    """
+
+    scores: np.ndarray
+    stats: APGREStats
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Vertex ids of the ``k`` highest-BC vertices, best first."""
+        k = min(k, self.scores.size)
+        idx = np.argpartition(-self.scores, np.arange(k))[:k]
+        return idx.astype(np.int64)

@@ -1,0 +1,176 @@
+"""Weighted APGRE — articulation-guided BC for weighted graphs.
+
+The paper restricts APGRE to unweighted graphs, but nothing in the
+decomposition actually depends on unit weights:
+
+* articulation points and the block-cut tree are purely topological;
+* "every path between SG_i and the region beyond its articulation
+  point a passes through a" holds for weighted shortest paths too, so
+  ``σ_st = σ_sa · σ_at`` still factorises;
+* ``α``/``β`` count *reachable vertices*, which weights cannot change;
+* pendant-source derivation (γ/R) relies only on the pendant having a
+  single out-arc — the derived DAG is the anchor's DAG shifted by one
+  edge weight, leaving every σ-ratio intact.
+
+The only change is the traversal engine: BFS levels become Dijkstra
+settle order (:func:`repro.baselines.weighted.dijkstra_sigma`), and the
+backward sweep walks that order vertex-by-vertex instead of level
+slabs. Everything else — the four dependencies, the merge rules
+including the two v==s corrections — is reused verbatim from the
+unweighted math (see docs/ALGORITHM.md §3–4).
+
+This makes the module the "weighted graphs" future-work item of the
+paper, solved by composing its decomposition with the standard
+Dijkstra-Brandes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.weighted import dijkstra_sigma
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import (
+    DEFAULT_THRESHOLD,
+    Partition,
+    Subgraph,
+    graph_partition,
+)
+from repro.errors import AlgorithmError, GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.types import SCORE_DTYPE
+
+__all__ = ["weighted_apgre_bc", "subgraph_weights"]
+
+
+def subgraph_weights(
+    graph: CSRGraph, sg: Subgraph, weights: np.ndarray
+) -> np.ndarray:
+    """Map global per-arc weights onto a sub-graph's local arc order.
+
+    Both arc arrays are sorted by (source, target), so the mapping is
+    one vectorised binary search over linearised global keys.
+    """
+    gsrc, gdst = graph.arcs()
+    keys = gsrc.astype(np.int64) * graph.n + gdst.astype(np.int64)
+    lsrc, ldst = sg.graph.arcs()
+    targets = (
+        sg.vertices[lsrc].astype(np.int64) * graph.n
+        + sg.vertices[ldst].astype(np.int64)
+    )
+    pos = np.searchsorted(keys, targets)
+    if not np.array_equal(keys[pos], targets):  # pragma: no cover
+        raise AlgorithmError("sub-graph arc missing from parent graph")
+    return weights[pos]
+
+
+def _weighted_bc_subgraph(
+    graph: CSRGraph,
+    sg: Subgraph,
+    weights: np.ndarray,
+    tolerance: float,
+) -> np.ndarray:
+    """Weighted Algorithm 2 for one sub-graph (local scores)."""
+    g = sg.graph
+    n = g.n
+    undirected = not g.directed
+    bc = np.zeros(n, dtype=SCORE_DTYPE)
+    if n == 0:
+        return bc
+    local_w = subgraph_weights(graph, sg, weights)
+    alpha = sg.alpha
+    beta = sg.beta
+    is_art = sg.is_boundary_art
+    arts = np.flatnonzero(is_art)
+
+    for s in sg.roots.tolist():
+        res = dijkstra_sigma(g, s, local_w, tolerance=tolerance)
+        sigma = res.sigma
+        # Phase 0: dependency initialisation (α at articulation points)
+        d_i2i = np.zeros(n, dtype=SCORE_DTYPE)
+        d_i2o = np.zeros(n, dtype=SCORE_DTYPE)
+        d_o2o = np.zeros(n, dtype=SCORE_DTYPE)
+        d_i2o[arts] = alpha[arts]
+        s_is_art = bool(is_art[s])
+        size_o2i = float(beta[s]) if s_is_art else 0.0
+        if s_is_art:
+            d_o2o[arts] = size_o2i * alpha[arts]
+            d_o2o[s] = 0.0
+        d_i2o[s] = 0.0
+
+        # Phase 2: accumulate in reverse settle order
+        for w in reversed(res.order):
+            sw = sigma[w]
+            for v in res.preds[w]:
+                coef = sigma[v] / sw
+                d_i2i[v] += coef * (1.0 + d_i2i[w])
+                d_i2o[v] += coef * d_i2o[w]
+                if s_is_art:
+                    d_o2o[v] += coef * d_o2o[w]
+
+        # merge (same rules + corrections as the unweighted kernel)
+        g_s = float(sg.gamma[s])
+        for v in res.order:
+            if v == s:
+                continue
+            contrib = (1.0 + g_s) * (d_i2i[v] + d_i2o[v])
+            if s_is_art:
+                contrib += size_o2i * d_i2i[v] + d_o2o[v]
+            bc[v] += contrib
+        if g_s:
+            self_i2i = d_i2i[s] - (1.0 if undirected else 0.0)
+            self_i2o = d_i2o[s] + (float(alpha[s]) if s_is_art else 0.0)
+            bc[s] += g_s * (self_i2i + self_i2o)
+    return bc
+
+
+def weighted_apgre_bc(
+    graph: CSRGraph,
+    weights: Optional[np.ndarray] = None,
+    *,
+    threshold: int = DEFAULT_THRESHOLD,
+    tolerance: float = 1e-12,
+    partition: Optional[Partition] = None,
+) -> np.ndarray:
+    """Exact BC on a positively weighted graph via APGRE decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Directed or undirected.
+    weights:
+        Positive weight per stored arc (CSR arc order); ``None`` means
+        unit weights (identical results to
+        :func:`repro.core.apgre.apgre_bc`).
+    threshold:
+        Algorithm-1 merge threshold.
+    tolerance:
+        Floating tie tolerance for equal-length paths.
+    partition:
+        Optional pre-computed partition (with α/β filled) to reuse.
+    """
+    m = graph.num_arcs
+    if weights is None:
+        weights = np.ones(m, dtype=SCORE_DTYPE)
+    else:
+        weights = np.asarray(weights, dtype=SCORE_DTYPE)
+        if weights.shape != (m,):
+            raise GraphValidationError(
+                f"weights must have one entry per arc ({m}), "
+                f"got shape {weights.shape}"
+            )
+        if (weights <= 0).any():
+            raise AlgorithmError(
+                "weighted APGRE requires strictly positive weights"
+            )
+    if partition is None:
+        partition = graph_partition(graph, threshold=threshold)
+        compute_alpha_beta(graph, partition)
+    bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    for sg in partition.subgraphs:
+        bc[sg.vertices] += _weighted_bc_subgraph(
+            graph, sg, weights, tolerance
+        )
+    return bc

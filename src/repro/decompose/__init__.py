@@ -1,0 +1,43 @@
+"""Graph decomposition by articulation points.
+
+Implements steps 1 and 2 of APGRE (paper §3/§4):
+
+* :mod:`repro.decompose.articulation` — iterative Hopcroft–Tarjan
+  articulation points + biconnected components (the paper's
+  ``FINDBCC``);
+* :mod:`repro.decompose.bcc_tree` — the block-cut tree ("any connected
+  graph decomposes into a tree of biconnected components", §3.1);
+* :mod:`repro.decompose.partition` — the paper's Algorithm 1
+  (``GraphPartition``): small-BCC merging around the top BCC, sub-graph
+  construction, root sets R and pendant multiplicities γ;
+* :mod:`repro.decompose.alphabeta` — α/β counting per articulation
+  point via blocked (reverse) BFS, with a block-cut-tree fast path for
+  undirected graphs.
+"""
+
+from repro.decompose.articulation import (
+    BCCResult,
+    articulation_points,
+    biconnected_components,
+    bridges,
+)
+from repro.decompose.bcc_tree import BlockCutTree, build_block_cut_tree
+from repro.decompose.partition import (
+    Partition,
+    Subgraph,
+    graph_partition,
+)
+from repro.decompose.alphabeta import compute_alpha_beta
+
+__all__ = [
+    "BCCResult",
+    "articulation_points",
+    "bridges",
+    "biconnected_components",
+    "BlockCutTree",
+    "build_block_cut_tree",
+    "Partition",
+    "Subgraph",
+    "graph_partition",
+    "compute_alpha_beta",
+]

@@ -1,0 +1,78 @@
+"""The block-cut tree.
+
+"Any connected graph decomposes into a tree of biconnected components.
+These biconnected components are attached to each other at shared
+vertices called articulation points." (paper §3.1, property 3.)
+
+The tree is bipartite: *block* nodes (one per biconnected component)
+and *cut* nodes (one per articulation point); a block is adjacent to
+the cut vertices it contains. For forests of components the structure
+is a forest of block-cut trees, which this module handles uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.decompose.articulation import BCCResult
+
+__all__ = ["BlockCutTree", "build_block_cut_tree"]
+
+
+@dataclass
+class BlockCutTree:
+    """Bipartite adjacency between biconnected components and cut vertices.
+
+    Attributes
+    ----------
+    bcc:
+        The underlying decomposition.
+    block_cuts:
+        ``block_cuts[c]`` lists the articulation points contained in
+        component ``c``.
+    cut_blocks:
+        Maps each articulation point to the component ids containing
+        it (always >= 2 entries — that is what being a cut vertex
+        means).
+    """
+
+    bcc: BCCResult
+    block_cuts: List[np.ndarray]
+    cut_blocks: Dict[int, np.ndarray]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_cuts)
+
+    def block_neighbors(self, c: int) -> List[int]:
+        """Components sharing an articulation point with component ``c``."""
+        out: List[int] = []
+        for a in self.block_cuts[c]:
+            for other in self.cut_blocks[int(a)]:
+                if other != c:
+                    out.append(int(other))
+        return out
+
+    def degree_of_cut(self, a: int) -> int:
+        """Number of components attached at articulation point ``a``."""
+        return int(self.cut_blocks[int(a)].size)
+
+
+def build_block_cut_tree(bcc: BCCResult) -> BlockCutTree:
+    """Assemble the block-cut tree from a BCC decomposition."""
+    art_flags = bcc.articulation_flags
+    block_cuts: List[np.ndarray] = []
+    cut_blocks_lists: Dict[int, List[int]] = {}
+    for c, verts in enumerate(bcc.component_vertices):
+        cuts = verts[art_flags[verts]]
+        block_cuts.append(cuts)
+        for a in cuts.tolist():
+            cut_blocks_lists.setdefault(a, []).append(c)
+    cut_blocks = {
+        a: np.asarray(blocks, dtype=np.int64)
+        for a, blocks in cut_blocks_lists.items()
+    }
+    return BlockCutTree(bcc=bcc, block_cuts=block_cuts, cut_blocks=cut_blocks)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so callers can catch package-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+from bad call signatures, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "PartitionError",
+    "AlgorithmError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory payload could not be parsed.
+
+    Raised by the :mod:`repro.io` readers when the input violates the
+    expected on-disk format (bad header, non-integer endpoint, truncated
+    record, ...). The message always includes the offending location
+    (line number or field) when one is available.
+    """
+
+
+class GraphValidationError(ReproError):
+    """A graph object violates a structural invariant.
+
+    Raised by :func:`repro.graph.validate.validate_graph` and by CSR
+    constructors when handed inconsistent arrays (unsorted ``indptr``,
+    out-of-range vertex ids, ...).
+    """
+
+
+class PartitionError(ReproError):
+    """Graph decomposition produced or was handed an inconsistent state.
+
+    Raised by :mod:`repro.decompose` when a partition does not cover the
+    graph, when a sub-graph references unknown articulation points, or
+    when α/β counting detects an impossible configuration.
+    """
+
+
+class AlgorithmError(ReproError):
+    """A BC algorithm was invoked with unsupported options or inputs.
+
+    For example the asynchronous baseline only supports undirected
+    graphs (mirroring the paper's ``async`` comparator) and raises this
+    error for directed input.
+    """
+
+
+class BenchmarkError(ReproError):
+    """The benchmark harness was misconfigured.
+
+    Raised by :mod:`repro.bench` for unknown experiment ids, empty
+    workload selections and similar harness-level misuse.
+    """

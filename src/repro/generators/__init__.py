@@ -1,0 +1,61 @@
+"""Synthetic graph generators.
+
+Every benchmark workload in this reproduction is generated here:
+classic random models (Erdős–Rényi, Barabási–Albert, R-MAT,
+Watts–Strogatz), road-like lattices, structured fixtures (including the
+paper's Figure-3 worked example) and — most importantly — the
+*paper-analogue suite* (:mod:`repro.generators.suite`) that stands in
+for the 12 SNAP/DIMACS graphs of Table 1 (see DESIGN.md §1 for the
+substitution rationale).
+"""
+
+from repro.generators.random import gnm_random_graph, gnp_random_graph
+from repro.generators.powerlaw import barabasi_albert_graph, powerlaw_cluster_graph
+from repro.generators.rmat import rmat_graph
+from repro.generators.smallworld import watts_strogatz_graph
+from repro.generators.road import grid_road_graph, districted_road_graph
+from repro.generators.structured import (
+    barbell_graph,
+    disease_network_analogue,
+    block_tree_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    paper_example_graph,
+    path_graph,
+    pendant_augment,
+    star_graph,
+)
+from repro.generators.suite import (
+    GraphSpec,
+    SUITE_SPECS,
+    analogue_graph,
+    paper_suite,
+    suite_names,
+)
+
+__all__ = [
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "rmat_graph",
+    "watts_strogatz_graph",
+    "grid_road_graph",
+    "districted_road_graph",
+    "barbell_graph",
+    "block_tree_graph",
+    "caterpillar_graph",
+    "complete_graph",
+    "cycle_graph",
+    "disease_network_analogue",
+    "paper_example_graph",
+    "path_graph",
+    "pendant_augment",
+    "star_graph",
+    "GraphSpec",
+    "SUITE_SPECS",
+    "analogue_graph",
+    "paper_suite",
+    "suite_names",
+]

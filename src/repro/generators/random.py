@@ -1,0 +1,101 @@
+"""Classic uniform random graph models (Erdős–Rényi G(n,p) and G(n,m)).
+
+Both generators are fully vectorised and deterministic for a given
+seed, making benchmark workloads reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.types import Seed, as_rng
+
+__all__ = ["gnp_random_graph", "gnm_random_graph"]
+
+
+def gnp_random_graph(
+    n: int, p: float, *, directed: bool = False, seed: Seed = None
+) -> CSRGraph:
+    """G(n, p): every (ordered) pair is an arc independently with prob ``p``.
+
+    Uses the geometric skip-sampling trick (O(m) expected work) instead
+    of materialising the n² Bernoulli matrix, so sparse graphs of any
+    ``n`` are cheap.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphValidationError(f"p must be in [0, 1], got {p}")
+    rng = as_rng(seed)
+    if n == 0 or p == 0.0:
+        return CSRGraph.from_arcs(n, [], [], directed=directed)
+    # number of candidate slots (ordered pairs minus diagonal for
+    # directed; upper triangle for undirected)
+    slots = n * (n - 1) if directed else n * (n - 1) // 2
+    if p >= 1.0:
+        picks = np.arange(slots, dtype=np.int64)
+    else:
+        # geometric gaps between successive successes
+        expected = int(slots * p)
+        margin = 4 * int(np.sqrt(expected + 1)) + 16
+        gaps = rng.geometric(p, size=expected + margin)
+        picks = np.cumsum(gaps) - 1
+        while picks.size and picks[-1] < slots - 1 and p > 0:
+            extra = rng.geometric(p, size=margin)
+            picks = np.concatenate([picks, picks[-1] + np.cumsum(extra)])
+        picks = picks[picks < slots]
+    if directed:
+        src = picks // (n - 1)
+        rem = picks % (n - 1)
+        dst = np.where(rem >= src, rem + 1, rem)  # skip the diagonal
+    else:
+        # invert the triangular index: row r starts at r*n - r(r+1)/2
+        src = (
+            n
+            - 2
+            - np.floor(
+                np.sqrt(-8.0 * picks + 4.0 * n * (n - 1) - 7.0) / 2.0 - 0.5
+            )
+        ).astype(np.int64)
+        dst = picks + src + 1 - src * n + src * (src + 1) // 2
+    return CSRGraph.from_arcs(n, src, dst, directed=directed)
+
+
+def gnm_random_graph(
+    n: int, m: int, *, directed: bool = False, seed: Seed = None
+) -> CSRGraph:
+    """G(n, m): exactly ``m`` distinct arcs/edges chosen uniformly.
+
+    ``m`` is capped at the number of available slots. Sampling is
+    rejection-free via ``Generator.choice`` without replacement on the
+    linearised pair index.
+    """
+    rng = as_rng(seed)
+    slots = n * (n - 1) if directed else n * (n - 1) // 2
+    m = min(int(m), slots)
+    if m < 0:
+        raise GraphValidationError(f"m must be >= 0, got {m}")
+    if n == 0 or m == 0:
+        return CSRGraph.from_arcs(n, [], [], directed=directed)
+    if slots <= 16_000_000:
+        picks = rng.choice(slots, size=m, replace=False).astype(np.int64)
+    else:  # avoid a giant permutation buffer for huge n
+        picks = np.unique(rng.integers(0, slots, size=int(m * 1.2) + 16))
+        while picks.size < m:
+            more = rng.integers(0, slots, size=m)
+            picks = np.unique(np.concatenate([picks, more]))
+        picks = rng.permutation(picks)[:m]
+    if directed:
+        src = picks // (n - 1)
+        rem = picks % (n - 1)
+        dst = np.where(rem >= src, rem + 1, rem)
+    else:
+        src = (
+            n
+            - 2
+            - np.floor(
+                np.sqrt(-8.0 * picks + 4.0 * n * (n - 1) - 7.0) / 2.0 - 0.5
+            )
+        ).astype(np.int64)
+        dst = picks + src + 1 - src * n + src * (src + 1) // 2
+    return CSRGraph.from_arcs(n, src, dst, directed=directed)

@@ -1,0 +1,79 @@
+"""R-MAT (recursive matrix) graph generator.
+
+The Graph500/SSCA benchmarks (the paper's ``preds`` implementation "is
+part of the SSCA v2.2 benchmark") use R-MAT inputs; the generator
+recursively subdivides the adjacency matrix into quadrants with
+probabilities (a, b, c, d), producing skewed, community-rich graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.types import Seed, as_rng
+
+__all__ = ["rmat_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = True,
+    seed: Seed = None,
+    permute: bool = True,
+) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count (Graph500 convention).
+    edge_factor:
+        Arcs generated per vertex (duplicates collapse, so the final
+        count is slightly lower — Graph500 semantics).
+    a, b, c:
+        Quadrant probabilities; ``d = 1 - a - b - c``. The defaults are
+        the Graph500 constants.
+    directed:
+        Arc interpretation.
+    seed:
+        RNG seed.
+    permute:
+        Randomly relabel vertices, hiding the recursive structure
+        (Graph500 does this too).
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphValidationError(
+            f"quadrant probabilities must be >= 0, got a={a} b={b} c={c} d={d}"
+        )
+    if scale < 0:
+        raise GraphValidationError(f"scale must be >= 0, got {scale}")
+    rng = as_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # vectorised bit-by-bit placement: at every level flip two biased
+    # coins per edge to choose the quadrant
+    for _level in range(scale):
+        src <<= 1
+        dst <<= 1
+        row_bit = rng.random(m) < (c + d)
+        # column bias depends on the chosen row half (a,b vs c,d)
+        col_p = np.where(row_bit, d / (c + d) if c + d else 0.0,
+                         b / (a + b) if a + b else 0.0)
+        col_bit = rng.random(m) < col_p
+        src |= row_bit.astype(np.int64)
+        dst |= col_bit.astype(np.int64)
+    if permute:
+        perm = rng.permutation(n)
+        src = perm[src]
+        dst = perm[dst]
+    return CSRGraph.from_arcs(n, src, dst, directed=directed)

@@ -1,0 +1,117 @@
+"""Road-network-like graphs.
+
+The paper's USA-roadNY / USA-roadBAY rows behave differently from the
+social graphs: degree distributions are narrow (not power-law), yet
+"there are also redundancy computation, e.g., 5% partial redundancy and
+16% total redundancy in USA-roadNY" (§5.3). These generators produce
+planar-ish lattices with dead-end streets (pendants) and
+bridge-connected districts so the analogue suite reproduces those
+modest redundancy fractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.types import Seed, as_rng
+
+__all__ = ["grid_road_graph", "districted_road_graph"]
+
+
+def grid_road_graph(
+    rows: int,
+    cols: int,
+    *,
+    keep_prob: float = 0.92,
+    dead_end_frac: float = 0.15,
+    seed: Seed = None,
+) -> CSRGraph:
+    """An ``rows × cols`` street grid with random deletions and dead ends.
+
+    ``keep_prob`` thins the lattice (creating the long detours that
+    make road BC expensive); ``dead_end_frac·rows·cols`` extra degree-1
+    vertices are attached as cul-de-sacs (the paper's road-graph total
+    redundancy). The largest connected chunk dominates by
+    construction for ``keep_prob`` ≳ 0.7.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphValidationError("grid needs rows >= 1 and cols >= 1")
+    if not 0.0 <= keep_prob <= 1.0:
+        raise GraphValidationError(f"keep_prob must be in [0,1], got {keep_prob}")
+    rng = as_rng(seed)
+    n = rows * cols
+    idx = np.arange(n).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    keep = rng.random(src.size) < keep_prob
+    src, dst = src[keep], dst[keep]
+    # cul-de-sacs: fresh vertices hanging off random grid vertices
+    extra = int(dead_end_frac * n)
+    if extra:
+        anchors = rng.integers(0, n, size=extra)
+        leaves = np.arange(n, n + extra, dtype=np.int64)
+        src = np.concatenate([src, anchors])
+        dst = np.concatenate([dst, leaves])
+        n += extra
+    return CSRGraph.from_arcs(n, src, dst, directed=False)
+
+
+def districted_road_graph(
+    n_districts: int,
+    district_rows: int,
+    district_cols: int,
+    *,
+    bridges_per_pair: int = 1,
+    dead_end_frac: float = 0.12,
+    seed: Seed = None,
+) -> CSRGraph:
+    """Several street grids joined in a chain by single bridge vertices.
+
+    Each bridge endpoint becomes an articulation point, so the
+    decomposition finds one sub-graph per district — the road-graph
+    shape in the paper's Table 4 (a dominant top sub-graph plus many
+    small ones). ``bridges_per_pair > 1`` biconnects consecutive
+    districts instead, shrinking the articulation structure (useful in
+    ablations).
+    """
+    if n_districts < 1:
+        raise GraphValidationError("need at least one district")
+    rng = as_rng(seed)
+    src_parts, dst_parts = [], []
+    offset = 0
+    size = district_rows * district_cols
+    anchors = []
+    for d in range(n_districts):
+        # denser first district so the top sub-graph dominates
+        keep = 0.95 if d == 0 else 0.85
+        g = grid_road_graph(
+            district_rows if d == 0 else max(2, district_rows // 2),
+            district_cols if d == 0 else max(2, district_cols // 2),
+            keep_prob=keep,
+            dead_end_frac=dead_end_frac,
+            seed=rng,
+        )
+        s, t = g.arcs()
+        und = s <= t
+        src_parts.append(s[und] + offset)
+        dst_parts.append(t[und] + offset)
+        anchors.append((offset, offset + g.n))
+        offset += g.n
+    # chain districts with bridge edges
+    for d in range(1, n_districts):
+        lo0, hi0 = anchors[d - 1]
+        lo1, hi1 = anchors[d]
+        for _b in range(bridges_per_pair):
+            u = int(rng.integers(lo0, hi0))
+            v = int(rng.integers(lo1, hi1))
+            src_parts.append(np.asarray([u]))
+            dst_parts.append(np.asarray([v]))
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    return CSRGraph.from_arcs(offset, src, dst, directed=False)

@@ -1,0 +1,306 @@
+"""Deterministic structured graphs and fixtures.
+
+Small parametric families with known BC/decomposition structure — the
+backbone of the unit tests (every family here has a closed-form or
+hand-checkable answer) — plus :func:`paper_example_graph`, a
+reconstruction of the 13-vertex directed worked example from the
+paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.types import Seed, as_rng
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "caterpillar_graph",
+    "block_tree_graph",
+    "pendant_augment",
+    "paper_example_graph",
+    "disease_network_analogue",
+]
+
+
+def path_graph(n: int, *, directed: bool = False) -> CSRGraph:
+    """The path ``0 - 1 - ... - n-1`` (arcs point forward if directed)."""
+    base = np.arange(max(n - 1, 0), dtype=np.int64)
+    return CSRGraph.from_arcs(n, base, base + 1, directed=directed)
+
+
+def cycle_graph(n: int, *, directed: bool = False) -> CSRGraph:
+    """The cycle on ``n`` vertices; biconnected, zero articulation points."""
+    if n < 3:
+        raise GraphValidationError(f"cycles need n >= 3, got {n}")
+    base = np.arange(n, dtype=np.int64)
+    return CSRGraph.from_arcs(n, base, (base + 1) % n, directed=directed)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """A hub (vertex 0) with ``n_leaves`` pendant leaves.
+
+    The canonical total-redundancy graph: every leaf is removable and
+    ``BC(hub) = n_leaves · (n_leaves - 1)`` under the paper's
+    ordered-pair convention.
+    """
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return CSRGraph.from_arcs(
+        n_leaves + 1, np.zeros(n_leaves, dtype=np.int64), leaves, directed=False
+    )
+
+
+def complete_graph(n: int, *, directed: bool = False) -> CSRGraph:
+    """K_n: all BC scores are zero (every pair is adjacent)."""
+    idx = np.arange(n, dtype=np.int64)
+    src = np.repeat(idx, n)
+    dst = np.tile(idx, n)
+    keep = src != dst
+    return CSRGraph.from_arcs(n, src[keep], dst[keep], directed=directed)
+
+
+def barbell_graph(clique: int, bridge_len: int) -> CSRGraph:
+    """Two K_``clique`` cliques joined by a path of ``bridge_len`` edges.
+
+    Every path vertex (and the two attachment points) is an
+    articulation point; the partition yields three obvious pieces.
+    """
+    if clique < 3:
+        raise GraphValidationError(f"cliques need >= 3 vertices, got {clique}")
+    n = 2 * clique + max(bridge_len - 1, 0)
+    idx = np.arange(clique, dtype=np.int64)
+    src_a = np.repeat(idx, clique)
+    dst_a = np.tile(idx, clique)
+    keep = src_a < dst_a
+    parts_src = [src_a[keep]]
+    parts_dst = [dst_a[keep]]
+    offset = clique + max(bridge_len - 1, 0)
+    parts_src.append(src_a[keep] + offset)
+    parts_dst.append(dst_a[keep] + offset)
+    # the bridge: clique-1 -> clique -> ... -> offset
+    chain = np.arange(clique - 1, offset, dtype=np.int64)
+    parts_src.append(chain)
+    parts_dst.append(chain + 1)
+    return CSRGraph.from_arcs(
+        n, np.concatenate(parts_src), np.concatenate(parts_dst), directed=False
+    )
+
+
+def lollipop_graph(clique: int, tail: int) -> CSRGraph:
+    """K_``clique`` with a ``tail``-edge path hanging off vertex 0."""
+    if clique < 3:
+        raise GraphValidationError(f"cliques need >= 3 vertices, got {clique}")
+    idx = np.arange(clique, dtype=np.int64)
+    src = np.repeat(idx, clique)
+    dst = np.tile(idx, clique)
+    keep = src < dst
+    parts_src = [src[keep]]
+    parts_dst = [dst[keep]]
+    if tail:
+        chain_src = np.concatenate(
+            [[0], np.arange(clique, clique + tail - 1, dtype=np.int64)]
+        )
+        chain_dst = np.arange(clique, clique + tail, dtype=np.int64)
+        parts_src.append(chain_src)
+        parts_dst.append(chain_dst)
+    return CSRGraph.from_arcs(
+        clique + tail,
+        np.concatenate(parts_src),
+        np.concatenate(parts_dst),
+        directed=False,
+    )
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> CSRGraph:
+    """A path of ``spine`` vertices, each carrying pendant legs.
+
+    Maximises total redundancy: all ``spine · legs_per_vertex`` leaves
+    are removable sources.
+    """
+    if spine < 1:
+        raise GraphValidationError(f"spine must be >= 1, got {spine}")
+    spine_idx = np.arange(spine - 1, dtype=np.int64)
+    parts_src = [spine_idx]
+    parts_dst = [spine_idx + 1]
+    leaf = spine
+    leg_src, leg_dst = [], []
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            leg_src.append(v)
+            leg_dst.append(leaf)
+            leaf += 1
+    parts_src.append(np.asarray(leg_src, dtype=np.int64))
+    parts_dst.append(np.asarray(leg_dst, dtype=np.int64))
+    return CSRGraph.from_arcs(
+        leaf, np.concatenate(parts_src), np.concatenate(parts_dst), directed=False
+    )
+
+
+def block_tree_graph(
+    depth: int,
+    branching: int,
+    clique_size: int,
+    *,
+    seed: Seed = None,
+) -> CSRGraph:
+    """A tree of cliques glued at shared cut vertices.
+
+    The root clique has ``branching`` child cliques, each child
+    recursively again, down to ``depth`` levels. Each child clique
+    shares exactly one vertex with its parent, so the block-cut tree of
+    the result is the construction tree — the canonical APGRE-friendly
+    topology with everything hand-predictable.
+    """
+    if clique_size < 3:
+        raise GraphValidationError(
+            f"clique_size must be >= 3, got {clique_size}"
+        )
+    rng = as_rng(seed)
+    src_parts, dst_parts = [], []
+    next_id = 0
+
+    def make_clique(shared: int | None) -> np.ndarray:
+        nonlocal next_id
+        fresh = clique_size - (0 if shared is None else 1)
+        ids = list(range(next_id, next_id + fresh))
+        next_id += fresh
+        if shared is not None:
+            ids.append(shared)
+        arr = np.asarray(ids, dtype=np.int64)
+        s = np.repeat(arr, arr.size)
+        t = np.tile(arr, arr.size)
+        keep = s < t
+        src_parts.append(s[keep])
+        dst_parts.append(t[keep])
+        return arr
+
+    frontier = [make_clique(None)]
+    for _level in range(depth):
+        nxt = []
+        for clique in frontier:
+            for _child in range(branching):
+                anchor = int(clique[rng.integers(0, clique.size)])
+                nxt.append(make_clique(anchor))
+        frontier = nxt
+    return CSRGraph.from_arcs(
+        next_id,
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        directed=False,
+    )
+
+
+def pendant_augment(
+    graph: CSRGraph,
+    n_pendants: int,
+    *,
+    seed: Seed = None,
+    anchors: np.ndarray | None = None,
+) -> CSRGraph:
+    """Attach ``n_pendants`` fresh degree-1 vertices to a graph.
+
+    For directed graphs the pendant arc points *into* the anchor
+    (``u -> anchor``) with no in-edges at ``u`` — exactly the paper's
+    total-redundancy pattern ("no incoming edges and a single outgoing
+    edge"). For undirected graphs the pendant is a plain leaf.
+    """
+    rng = as_rng(seed)
+    if anchors is None:
+        anchors = rng.integers(0, graph.n, size=n_pendants)
+    else:
+        anchors = np.asarray(anchors, dtype=np.int64)
+        if anchors.size != n_pendants:
+            raise GraphValidationError(
+                f"anchors has {anchors.size} entries, expected {n_pendants}"
+            )
+    src, dst = graph.arcs()
+    if not graph.directed:
+        keep = src <= dst
+        src, dst = src[keep], dst[keep]
+    leaves = np.arange(graph.n, graph.n + n_pendants, dtype=np.int64)
+    src = np.concatenate([src, leaves])
+    dst = np.concatenate([dst, anchors])
+    return CSRGraph.from_arcs(
+        graph.n + n_pendants, src, dst, directed=graph.directed
+    )
+
+
+def paper_example_graph() -> CSRGraph:
+    """A reconstruction of the paper's Figure-3 worked example.
+
+    13 directed vertices. Vertices 2, 3 and 6 are articulation points
+    of the undirected shadow; vertices 0 and 1 are pendant sources into
+    vertex 2 (the paper's total-redundancy example, γ(2) = 2); the
+    decomposition yields three sub-graphs: SG1 = {3, 10, 11, 12},
+    SG2 = {2, 3, 4, 5, 6} (+ pendants 0, 1) and SG3 = {6, 7, 8, 9}.
+    The figure's exact arc list is not recoverable from the paper text,
+    so this fixture reproduces the *described* structure (shared
+    sub-DAG pattern, articulation points, pendant count), which is what
+    the worked-example tests assert.
+    """
+    arcs = [
+        # pendant sources (total redundancy)
+        (0, 2),
+        (1, 2),
+        # SG2: strongly connected middle sub-graph {2,3,4,5,6}
+        (2, 3),
+        (3, 5),
+        (5, 6),
+        (6, 2),
+        (2, 4),
+        (4, 6),
+        # SG3: {6,7,8,9} cycle back to 6
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 6),
+        # SG1: {3,10,11,12}; 11 has two out-edges (not a pendant)
+        (3, 12),
+        (12, 10),
+        (10, 3),
+        (11, 12),
+        (11, 10),
+    ]
+    arr = np.asarray(arcs, dtype=np.int64)
+    return CSRGraph.from_arcs(13, arr[:, 0], arr[:, 1], directed=True)
+
+
+def disease_network_analogue(*, seed: Seed = 29) -> CSRGraph:
+    """A Human-Disease-Network-like graph (paper Figure 2).
+
+    The paper motivates APGRE with the Human Disease Network (Goh et
+    al., 2007; 1419 vertices, 3926 edges): a sparse undirected graph of
+    disease clusters connected through hub disorders, rich in pendant
+    vertices and articulation points. This analogue matches those
+    statistics: ~1400 vertices, ~3900 undirected edges, a power-law
+    cluster core with many degree-1 diseases attached.
+    """
+    from repro.generators.powerlaw import barabasi_albert_graph
+
+    rng = as_rng(seed)
+    core = barabasi_albert_graph(900, 4, seed=rng)
+    src, dst = core.arcs()
+    keep = src <= dst
+    src_list = [src[keep].astype(np.int64)]
+    dst_list = [dst[keep].astype(np.int64)]
+    next_id = core.n
+    # ~520 pendant diseases hanging off the core
+    n_pend = 520
+    anchors = rng.integers(0, core.n, size=n_pend)
+    leaves = np.arange(next_id, next_id + n_pend, dtype=np.int64)
+    src_list.append(leaves)
+    dst_list.append(anchors.astype(np.int64))
+    next_id += n_pend
+    return CSRGraph.from_arcs(
+        next_id,
+        np.concatenate(src_list),
+        np.concatenate(dst_list),
+        directed=False,
+    )

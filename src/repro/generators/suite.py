@@ -1,0 +1,401 @@
+"""The paper-analogue workload suite (stand-ins for Table 1).
+
+The paper evaluates on 12 real graphs (SNAP, DIMACS, web crawls) of
+37k–2.4M vertices. Exact BC is O(|V||E|), so at paper scale a pure
+Python run is infeasible and the raw datasets are not redistributable
+here; instead each Table-1 graph gets a deterministic scaled-down
+*analogue* matched on the structural features that drive APGRE's
+behaviour (see DESIGN.md §1):
+
+* directedness (Table 1 column),
+* the dominance of the top biconnected component (Table 4 top
+  sub-graph V/E fractions),
+* the pendant-vertex fraction (Figure 7 "total redundancy"),
+* the number and size of articulation-separated satellites
+  (Figure 7 "partial redundancy", Table 4 #SG),
+* degree-distribution family (power-law vs road lattice).
+
+Each spec records the paper's original |V|/|E| so Table-1 output can
+show both columns side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.graph.csr import CSRGraph
+from repro.generators.powerlaw import barabasi_albert_graph
+from repro.generators.road import grid_road_graph
+from repro.types import Seed, as_rng
+
+__all__ = [
+    "GraphSpec",
+    "SUITE_SPECS",
+    "suite_names",
+    "analogue_graph",
+    "paper_suite",
+]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Recipe for one Table-1 analogue graph.
+
+    Attributes
+    ----------
+    name:
+        Paper's graph name (Table 1 spelling).
+    description:
+        Paper's description column.
+    directed:
+        Table 1 directedness.
+    core:
+        ``("powerlaw", n, attach_m)`` or ``("grid", rows, cols)`` —
+        the top biconnected component.
+    pendants:
+        Number of degree-1 / source-pendant vertices (total
+        redundancy).
+    satellites:
+        ``(count, min_size, max_size)`` small articulation-separated
+        communities (partial redundancy).
+    chain_frac:
+        Fraction of satellites anchored on earlier satellites instead
+        of the core (deepens the block-cut tree).
+    big_satellite:
+        Optional size of one large secondary community (dblp-2010's
+        30%-of-V second sub-graph in Table 4).
+    reciprocity:
+        For directed graphs, probability an underlying edge is kept in
+        both directions.
+    seed:
+        Deterministic RNG seed for this analogue.
+    paper_vertices, paper_edges:
+        The original graph's size, for side-by-side reporting.
+    """
+
+    name: str
+    description: str
+    directed: bool
+    core: Tuple
+    pendants: int
+    satellites: Tuple[int, int, int]
+    chain_frac: float = 0.25
+    big_satellite: int = 0
+    reciprocity: float = 0.5
+    seed: int = 0
+    paper_vertices: int = 0
+    paper_edges: int = 0
+
+
+SUITE_SPECS: Dict[str, GraphSpec] = {
+    spec.name: spec
+    for spec in [
+        GraphSpec(
+            name="Email-Enron",
+            description="Enron email network",
+            directed=False,
+            core=("powerlaw", 350, 6),
+            pendants=160,
+            satellites=(24, 3, 9),
+            seed=101,
+            paper_vertices=36_692,
+            paper_edges=367_662,
+        ),
+        GraphSpec(
+            name="Email-EuAll",
+            description="Email network of a large European Research Institution",
+            directed=True,
+            core=("powerlaw", 120, 3),
+            pendants=600,
+            satellites=(36, 2, 7),
+            reciprocity=0.25,
+            seed=102,
+            paper_vertices=265_214,
+            paper_edges=420_045,
+        ),
+        GraphSpec(
+            name="Slashdot0811",
+            description="Slashdot Zoo social network",
+            directed=True,
+            core=("powerlaw", 600, 6),
+            pendants=0,
+            satellites=(48, 2, 6),
+            reciprocity=0.8,
+            seed=103,
+            paper_vertices=77_360,
+            paper_edges=905_468,
+        ),
+        GraphSpec(
+            name="soc-DouBan",
+            description="DouBan Chinese social network",
+            directed=True,
+            core=("powerlaw", 250, 4),
+            pendants=420,
+            satellites=(28, 2, 6),
+            reciprocity=0.4,
+            seed=104,
+            paper_vertices=154_908,
+            paper_edges=654_188,
+        ),
+        GraphSpec(
+            name="WikiTalk",
+            description="Communication network of Wikipedia",
+            directed=True,
+            core=("powerlaw", 280, 5),
+            pendants=350,
+            satellites=(60, 3, 10),
+            chain_frac=0.45,
+            reciprocity=0.3,
+            seed=105,
+            paper_vertices=2_394_385,
+            paper_edges=5_021_410,
+        ),
+        GraphSpec(
+            name="dblp-2010",
+            description="DBLP collaboration network",
+            directed=True,
+            core=("powerlaw", 350, 5),
+            pendants=260,
+            satellites=(30, 2, 8),
+            big_satellite=260,
+            reciprocity=0.7,
+            seed=106,
+            paper_vertices=326_186,
+            paper_edges=1_615_400,
+        ),
+        GraphSpec(
+            name="com-youtube",
+            description="Youtube online social network",
+            directed=False,
+            core=("powerlaw", 450, 5),
+            pendants=380,
+            satellites=(50, 2, 7),
+            seed=107,
+            paper_vertices=1_134_890,
+            paper_edges=5_975_248,
+        ),
+        GraphSpec(
+            name="NotroDame",
+            description="University of Notre Dame web graph",
+            directed=True,
+            core=("powerlaw", 300, 6),
+            pendants=180,
+            satellites=(40, 2, 8),
+            chain_frac=0.4,
+            reciprocity=0.5,
+            seed=108,
+            paper_vertices=325_729,
+            paper_edges=1_497_134,
+        ),
+        GraphSpec(
+            name="web-BerkStan",
+            description="Berkely-Stanford web graph from 2002",
+            directed=True,
+            core=("powerlaw", 550, 8),
+            pendants=90,
+            satellites=(22, 3, 12),
+            reciprocity=0.5,
+            seed=109,
+            paper_vertices=685_230,
+            paper_edges=7_600_595,
+        ),
+        GraphSpec(
+            name="web-Google",
+            description="Webgraph from the Google programming contest",
+            directed=True,
+            core=("powerlaw", 600, 6),
+            pendants=120,
+            satellites=(30, 2, 8),
+            reciprocity=0.5,
+            seed=110,
+            paper_vertices=875_713,
+            paper_edges=5_105_039,
+        ),
+        GraphSpec(
+            name="USA-roadNY",
+            description="Road network",
+            directed=False,
+            core=("grid", 24, 24),
+            pendants=70,
+            satellites=(8, 4, 10),
+            seed=111,
+            paper_vertices=264_346,
+            paper_edges=733_846,
+        ),
+        GraphSpec(
+            name="USA-roadBAY",
+            description="Road network",
+            directed=False,
+            core=("grid", 22, 22),
+            pendants=110,
+            satellites=(12, 4, 10),
+            seed=112,
+            paper_vertices=321_270,
+            paper_edges=800_172,
+        ),
+    ]
+}
+
+
+def suite_names() -> List[str]:
+    """Table-1 graph names in the paper's row order."""
+    return list(SUITE_SPECS)
+
+
+def _satellite_edges(
+    rng: np.random.Generator, size: int, first_id: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A connected random community on ``size`` fresh vertices.
+
+    A spanning path guarantees connectivity; ``size // 2`` random
+    chords make most satellites biconnected-ish so they survive the
+    partitioner's small-BCC merging as recognisable blocks.
+    """
+    ids = np.arange(first_id, first_id + size, dtype=np.int64)
+    src = [ids[:-1]]
+    dst = [ids[1:]]
+    extra = size // 2
+    if extra and size > 2:
+        a = rng.integers(0, size, size=extra)
+        b = rng.integers(0, size, size=extra)
+        keep = a != b
+        src.append(ids[a[keep]])
+        dst.append(ids[b[keep]])
+    return np.concatenate(src), np.concatenate(dst)
+
+
+def _orient(
+    rng: np.random.Generator,
+    src: np.ndarray,
+    dst: np.ndarray,
+    reciprocity: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Turn undirected pairs into arcs with the given reciprocity."""
+    both = rng.random(src.size) < reciprocity
+    flip = rng.random(src.size) < 0.5
+    one_src = np.where(flip, dst, src)
+    one_dst = np.where(flip, src, dst)
+    out_src = np.concatenate([one_src[~both], src[both], dst[both]])
+    out_dst = np.concatenate([one_dst[~both], dst[both], src[both]])
+    return out_src, out_dst
+
+
+def analogue_graph(
+    name: str, *, scale: float = 1.0, seed: Seed = None
+) -> CSRGraph:
+    """Build the analogue for one Table-1 graph.
+
+    Parameters
+    ----------
+    name:
+        A Table-1 graph name (see :func:`suite_names`).
+    scale:
+        Multiplies every size knob; ``scale=1`` keeps full exact BC
+        runs in the low seconds on one core, larger values stress-test.
+    seed:
+        Overrides the spec's deterministic seed (rarely wanted).
+    """
+    if name not in SUITE_SPECS:
+        raise BenchmarkError(
+            f"unknown suite graph {name!r}; known: {', '.join(SUITE_SPECS)}"
+        )
+    spec = SUITE_SPECS[name]
+    rng = as_rng(spec.seed if seed is None else seed)
+
+    def scaled(x: int) -> int:
+        return max(int(round(x * scale)), 1) if x else 0
+
+    # --- core (top biconnected component) ---
+    if spec.core[0] == "powerlaw":
+        _kind, n_core, attach = spec.core
+        core = barabasi_albert_graph(
+            scaled(n_core), attach, directed=False, seed=rng
+        )
+    elif spec.core[0] == "grid":
+        _kind, rows, cols = spec.core
+        core = grid_road_graph(
+            scaled(rows), scaled(cols), dead_end_frac=0.0, seed=rng
+        )
+    else:  # pragma: no cover - specs are static
+        raise BenchmarkError(f"unknown core kind {spec.core[0]!r}")
+
+    src, dst = core.arcs()
+    keep = src <= dst
+    src_parts = [src[keep].astype(np.int64)]
+    dst_parts = [dst[keep].astype(np.int64)]
+    next_id = core.n
+    core_ids = np.arange(core.n)
+
+    # --- big secondary community (dblp-like second sub-graph) ---
+    anchor_pool = [core_ids]
+    if spec.big_satellite:
+        size = scaled(spec.big_satellite)
+        big = barabasi_albert_graph(size, 3, directed=False, seed=rng)
+        bsrc, bdst = big.arcs()
+        bkeep = bsrc <= bdst
+        src_parts.append(bsrc[bkeep].astype(np.int64) + next_id)
+        dst_parts.append(bdst[bkeep].astype(np.int64) + next_id)
+        anchor = int(rng.integers(0, core.n))
+        src_parts.append(np.asarray([anchor]))
+        dst_parts.append(np.asarray([next_id]))
+        anchor_pool.append(np.arange(next_id, next_id + size))
+        next_id += size
+
+    # --- satellites (partial redundancy) ---
+    count, lo, hi = spec.satellites
+    satellite_ids: List[np.ndarray] = []
+    for _i in range(scaled(count)):
+        size = int(rng.integers(lo, hi + 1))
+        s, d = _satellite_edges(rng, size, next_id)
+        src_parts.append(s)
+        dst_parts.append(d)
+        ids = np.arange(next_id, next_id + size)
+        # chain some satellites off earlier satellites
+        if satellite_ids and rng.random() < spec.chain_frac:
+            pool = satellite_ids[int(rng.integers(0, len(satellite_ids)))]
+        else:
+            pool = anchor_pool[int(rng.integers(0, len(anchor_pool)))]
+        anchor = int(pool[rng.integers(0, pool.size)])
+        src_parts.append(np.asarray([anchor]))
+        dst_parts.append(np.asarray([next_id]))
+        satellite_ids.append(ids)
+        next_id += size
+
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+
+    # --- orientation (directed analogues) ---
+    if spec.directed:
+        src, dst = _orient(rng, src, dst, spec.reciprocity)
+
+    # --- pendants (total redundancy) ---
+    n_pend = scaled(spec.pendants)
+    if n_pend:
+        anchors = rng.integers(0, next_id, size=n_pend)
+        leaves = np.arange(next_id, next_id + n_pend, dtype=np.int64)
+        # directed pendants point INTO the graph: no in-edges, one
+        # out-edge — the paper's removable-source pattern
+        src = np.concatenate([src, leaves])
+        dst = np.concatenate([dst, anchors])
+        next_id += n_pend
+
+    return CSRGraph.from_arcs(next_id, src, dst, directed=spec.directed)
+
+
+def paper_suite(
+    *, scale: float = 1.0, names: Optional[List[str]] = None
+) -> Dict[str, CSRGraph]:
+    """Build (a subset of) the full analogue suite.
+
+    Returns an ordered mapping ``name -> graph`` following Table 1's
+    row order.
+    """
+    chosen = names if names is not None else suite_names()
+    unknown = [n for n in chosen if n not in SUITE_SPECS]
+    if unknown:
+        raise BenchmarkError(f"unknown suite graphs: {', '.join(unknown)}")
+    return {name: analogue_graph(name, scale=scale) for name in chosen}

@@ -1,0 +1,72 @@
+"""Graph substrate: CSR storage, builders, conversions, traversals.
+
+The whole package operates on :class:`repro.graph.csr.CSRGraph`, an
+immutable compressed-sparse-row adjacency structure mirroring the
+storage used by the paper's C++ implementation (§5.1: "the graphs are
+stored in Compressed Sparse Row (CSR) format").
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import (
+    from_edges,
+    from_adjacency,
+    from_networkx,
+    empty_graph,
+)
+from repro.graph.ops import (
+    connected_components,
+    degrees,
+    induced_subgraph,
+    reachable_from,
+    reverse_graph,
+    to_undirected,
+)
+from repro.graph.kcore import core_numbers, k_core
+from repro.graph.ordering import (
+    apply_ordering,
+    bfs_order,
+    degree_order,
+    random_order,
+)
+from repro.graph.scc import (
+    SCCResult,
+    condensation,
+    strongly_connected_components,
+)
+from repro.graph.traversal import (
+    BFSResult,
+    bfs,
+    bfs_blocked,
+    bfs_levels,
+    bfs_sigma,
+    reverse_bfs_blocked,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "empty_graph",
+    "connected_components",
+    "degrees",
+    "induced_subgraph",
+    "reachable_from",
+    "reverse_graph",
+    "to_undirected",
+    "core_numbers",
+    "k_core",
+    "apply_ordering",
+    "bfs_order",
+    "degree_order",
+    "random_order",
+    "SCCResult",
+    "condensation",
+    "strongly_connected_components",
+    "BFSResult",
+    "bfs",
+    "bfs_blocked",
+    "bfs_levels",
+    "bfs_sigma",
+    "reverse_bfs_blocked",
+]

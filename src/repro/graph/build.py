@@ -1,0 +1,108 @@
+"""High-level :class:`~repro.graph.csr.CSRGraph` builders.
+
+These are the public constructors; they normalise heterogeneous inputs
+(edge tuples, adjacency dicts, networkx graphs) into the arc arrays
+consumed by :meth:`CSRGraph.from_arcs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["from_edges", "from_adjacency", "from_networkx", "empty_graph"]
+
+
+def from_edges(
+    edges: Iterable[Tuple[int, int]],
+    *,
+    directed: bool = False,
+    n: Optional[int] = None,
+    dedupe: bool = True,
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs.
+
+    Parameters
+    ----------
+    edges:
+        Edge endpoints. Any iterable of int pairs, or an ``(m, 2)``
+        array.
+    directed:
+        Whether pairs are one-way arcs.
+    n:
+        Vertex count. Defaults to ``max endpoint + 1`` so isolated
+        trailing vertices must be declared explicitly.
+    dedupe:
+        Collapse duplicate edges (recommended; see
+        :meth:`CSRGraph.from_arcs`).
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphValidationError(
+            f"edges must be (m, 2)-shaped, got shape {arr.shape}"
+        )
+    if n is None:
+        n = int(arr.max()) + 1 if arr.size else 0
+    return CSRGraph.from_arcs(
+        n, arr[:, 0], arr[:, 1], directed=directed, dedupe=dedupe
+    )
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Sequence[int]],
+    *,
+    directed: bool = False,
+    n: Optional[int] = None,
+) -> CSRGraph:
+    """Build a graph from a ``{vertex: neighbours}`` mapping.
+
+    Vertices that appear only as targets need no key of their own.
+    """
+    src_list = []
+    dst_list = []
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            src_list.append(int(u))
+            dst_list.append(int(v))
+    if n is None:
+        peak = -1
+        if src_list:
+            peak = max(max(src_list), max(dst_list))
+        if adjacency:
+            peak = max(peak, max(int(k) for k in adjacency))
+        n = peak + 1
+    return CSRGraph.from_arcs(n, src_list, dst_list, directed=directed)
+
+
+def from_networkx(nxg, *, n: Optional[int] = None) -> CSRGraph:
+    """Convert a networkx (Di)Graph with integer node labels.
+
+    The direction of the result follows ``nxg.is_directed()``. Nodes
+    must already be integers in ``[0, n)``; use
+    ``networkx.convert_node_labels_to_integers`` first otherwise.
+    """
+    directed = bool(nxg.is_directed())
+    edges = list(nxg.edges())
+    for node in nxg.nodes():
+        if not isinstance(node, (int, np.integer)):
+            raise GraphValidationError(
+                f"networkx node labels must be ints, saw {node!r}"
+            )
+    if n is None:
+        n = (max(nxg.nodes()) + 1) if nxg.number_of_nodes() else 0
+    if edges:
+        arr = np.asarray(edges, dtype=np.int64)
+        return CSRGraph.from_arcs(n, arr[:, 0], arr[:, 1], directed=directed)
+    return empty_graph(n, directed=directed)
+
+
+def empty_graph(n: int, *, directed: bool = False) -> CSRGraph:
+    """An ``n``-vertex graph with no edges."""
+    z = np.zeros(0, dtype=np.int64)
+    return CSRGraph.from_arcs(n, z, z, directed=directed)

@@ -1,0 +1,70 @@
+"""Conversions between :class:`CSRGraph` and external representations.
+
+networkx and scipy are *optional* runtime dependencies of this module:
+they are imported lazily so the core library keeps its numpy-only
+footprint (both are available in the test environment, where these
+conversions back the correctness oracles).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+    import scipy.sparse
+
+__all__ = ["to_networkx", "to_scipy_sparse", "to_edge_array", "from_scipy_sparse"]
+
+
+def to_networkx(graph: CSRGraph) -> "networkx.Graph":
+    """Convert to ``networkx.Graph`` / ``networkx.DiGraph``.
+
+    Every vertex is added as a node (isolated vertices included) so the
+    conversion round-trips through :func:`repro.graph.build.from_networkx`.
+    """
+    import networkx as nx
+
+    nxg = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(range(graph.n))
+    nxg.add_edges_from(graph.iter_edges())
+    return nxg
+
+
+def to_scipy_sparse(graph: CSRGraph) -> "scipy.sparse.csr_matrix":
+    """The adjacency matrix as a ``scipy.sparse.csr_matrix`` of int8.
+
+    Undirected graphs yield a symmetric matrix (both orientations are
+    stored in the CSR already).
+    """
+    from scipy.sparse import csr_matrix
+
+    data = np.ones(graph.num_arcs, dtype=np.int8)
+    return csr_matrix(
+        (data, graph.out_indices, graph.out_indptr), shape=(graph.n, graph.n)
+    )
+
+
+def from_scipy_sparse(matrix, *, directed: bool = True) -> CSRGraph:
+    """Build a graph from any scipy sparse matrix.
+
+    Nonzero ``(i, j)`` entries become arcs ``i -> j``; values are
+    ignored (this package handles unweighted graphs, like the paper).
+    """
+    coo = matrix.tocoo()
+    n = max(coo.shape)
+    return CSRGraph.from_arcs(n, coo.row, coo.col, directed=directed)
+
+
+def to_edge_array(graph: CSRGraph) -> np.ndarray:
+    """An ``(m, 2)`` int array of arcs (one row per unordered edge for
+    undirected graphs)."""
+    src, dst = graph.arcs()
+    if not graph.directed:
+        keep = src <= dst
+        src, dst = src[keep], dst[keep]
+    return np.stack([src, dst], axis=1).astype(np.int64)

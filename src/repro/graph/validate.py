@@ -1,0 +1,95 @@
+"""Structural validation of :class:`CSRGraph` instances.
+
+The constructors already guarantee these invariants for graphs built
+through the public API; :func:`validate_graph` exists for graphs
+assembled from raw arrays (e.g. deserialised) and as the executable
+specification the property-based tests assert against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["validate_graph"]
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise GraphValidationError(message)
+
+
+def validate_graph(graph: CSRGraph) -> None:
+    """Raise :class:`GraphValidationError` on any broken invariant.
+
+    Checked invariants:
+
+    * ``indptr`` arrays are monotone, start at 0, end at ``num_arcs``;
+    * every adjacency target lies in ``[0, n)``;
+    * per-row adjacency is sorted and free of duplicates/self-loops;
+    * the reverse CSR is the exact transpose of the forward CSR;
+    * undirected graphs are symmetric and share forward/reverse arrays.
+    """
+    n = graph.n
+    for name, indptr, indices in (
+        ("out", graph.out_indptr, graph.out_indices),
+        ("in", graph.in_indptr, graph.in_indices),
+    ):
+        _check(indptr.shape == (n + 1,), f"{name}_indptr must have n+1 entries")
+        _check(int(indptr[0]) == 0, f"{name}_indptr must start at 0")
+        _check(
+            int(indptr[-1]) == indices.size,
+            f"{name}_indptr must end at the arc count",
+        )
+        _check(
+            bool(np.all(np.diff(indptr) >= 0)),
+            f"{name}_indptr must be non-decreasing",
+        )
+        if indices.size:
+            _check(
+                0 <= int(indices.min()) and int(indices.max()) < n,
+                f"{name}_indices contains out-of-range vertex ids",
+            )
+        # sorted rows without duplicates: within each row, strictly
+        # increasing targets. Vectorised: adjacent pairs inside a row.
+        if indices.size > 1:
+            row_of = np.repeat(np.arange(n), np.diff(indptr))
+            same_row = row_of[1:] == row_of[:-1]
+            _check(
+                bool(np.all(indices[1:][same_row] > indices[:-1][same_row])),
+                f"{name} adjacency rows must be sorted and duplicate-free",
+            )
+        # self loops
+        row_of = np.repeat(np.arange(n), np.diff(indptr))
+        _check(
+            not bool(np.any(indices == row_of)),
+            f"{name} adjacency contains self-loops",
+        )
+
+    _check(
+        graph.out_indices.size == graph.in_indices.size,
+        "forward and reverse CSR must store the same number of arcs",
+    )
+
+    if graph.directed:
+        # the reverse CSR must be the transpose of the forward CSR
+        src = np.repeat(np.arange(n), np.diff(graph.out_indptr))
+        fwd = set(zip(src.tolist(), graph.out_indices.tolist()))
+        rsrc = np.repeat(np.arange(n), np.diff(graph.in_indptr))
+        rev = set(zip(graph.in_indices.tolist(), rsrc.tolist()))
+        _check(fwd == rev, "reverse CSR is not the transpose of forward CSR")
+    else:
+        _check(
+            graph.out_indptr is graph.in_indptr
+            and graph.out_indices is graph.in_indices,
+            "undirected graphs must share forward/reverse arrays",
+        )
+        # symmetry: u in adj(v) iff v in adj(u)
+        src = np.repeat(np.arange(n), np.diff(graph.out_indptr))
+        fwd = set(zip(src.tolist(), graph.out_indices.tolist()))
+        _check(
+            all((v, u) in fwd for (u, v) in fwd),
+            "undirected adjacency is not symmetric",
+        )

@@ -1,0 +1,27 @@
+"""Graph file I/O.
+
+Readers for the three on-disk formats the paper's inputs ship in:
+SNAP-style edge lists, DIMACS shortest-path ``.gr`` files, and
+MatrixMarket coordinate files — plus writers and a format-sniffing
+loader.
+"""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.dimacs import read_dimacs, write_dimacs
+from repro.io.matrixmarket import read_matrix_market, write_matrix_market
+from repro.io.binary import load_npz, save_npz
+from repro.io.registry import load_graph, save_graph, sniff_format
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_dimacs",
+    "write_dimacs",
+    "read_matrix_market",
+    "write_matrix_market",
+    "load_npz",
+    "save_npz",
+    "load_graph",
+    "save_graph",
+    "sniff_format",
+]

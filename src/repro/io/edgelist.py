@@ -1,0 +1,124 @@
+"""SNAP-style whitespace edge-list files.
+
+The Stanford Network Analysis Platform distributes its graphs (the bulk
+of the paper's Table 1) as plain text: ``#``-prefixed comment lines
+followed by one ``src dst`` pair per line. Vertex ids in the files are
+arbitrary non-negative integers and are densified to ``0..n-1`` on
+read (SNAP ids are frequently sparse, e.g. WikiTalk).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+PathLike = Union[str, Path, io.TextIOBase]
+
+
+def _open_text(path: PathLike, mode: str):
+    if isinstance(path, io.TextIOBase):
+        return path, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def read_edgelist(
+    path: PathLike,
+    *,
+    directed: bool = True,
+    comments: str = "#",
+    densify: bool = True,
+) -> Tuple[CSRGraph, Optional[np.ndarray]]:
+    """Read a SNAP edge list.
+
+    Parameters
+    ----------
+    path:
+        File path or open text stream.
+    directed:
+        SNAP files do not record directedness; the caller supplies it
+        (the paper's Table 1 lists it per graph).
+    comments:
+        Comment-line prefix.
+    densify:
+        Remap arbitrary ids onto ``0..n-1``. When False, ids are used
+        verbatim and must already be dense.
+
+    Returns
+    -------
+    graph, original_ids:
+        The graph, and (when densified) the original id of each new
+        vertex — ``original_ids[i]`` is the file id of vertex ``i``.
+        ``None`` when ``densify=False``.
+
+    Raises
+    ------
+    GraphFormatError
+        On non-integer tokens or lines with fewer than two fields
+        (extra fields, e.g. weights, are ignored).
+    """
+    fh, owned = _open_text(path, "r")
+    src_list, dst_list = [], []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comments):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"line {lineno}: expected 'src dst', got {stripped!r}"
+                )
+            try:
+                src_list.append(int(parts[0]))
+                dst_list.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: non-integer endpoint in {stripped!r}"
+                ) from exc
+    finally:
+        if owned:
+            fh.close()
+
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    if src.size and src.min() < 0 or dst.size and dst.min() < 0:
+        raise GraphFormatError("negative vertex ids are not supported")
+    original: Optional[np.ndarray] = None
+    if densify and src.size:
+        original = np.unique(np.concatenate([src, dst]))
+        src = np.searchsorted(original, src)
+        dst = np.searchsorted(original, dst)
+        n = original.size
+    else:
+        n = int(max(src.max(), dst.max())) + 1 if src.size else 0
+    return CSRGraph.from_arcs(n, src, dst, directed=directed), original
+
+
+def write_edgelist(graph: CSRGraph, path: PathLike, *, header: str = "") -> None:
+    """Write a graph as a SNAP edge list.
+
+    Undirected edges are written once (``u <= v``); a comment header
+    recording size and directedness is always emitted so files are
+    self-describing.
+    """
+    fh, owned = _open_text(path, "w")
+    try:
+        kind = "directed" if graph.directed else "undirected"
+        fh.write(f"# repro edge list ({kind})\n")
+        fh.write(f"# nodes: {graph.n} arcs: {graph.num_arcs}\n")
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for u, v in graph.iter_edges():
+            fh.write(f"{u}\t{v}\n")
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,120 @@
+"""MatrixMarket coordinate files (``.mtx``).
+
+Web-crawl graphs (the paper's web-BerkStan/web-Google class) are often
+redistributed as MatrixMarket adjacency matrices. Only the
+``matrix coordinate pattern|integer|real general|symmetric`` subset is
+supported — exactly what adjacency matrices use.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+PathLike = Union[str, Path, io.TextIOBase]
+
+
+def _open_text(path: PathLike, mode: str):
+    if isinstance(path, io.TextIOBase):
+        return path, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def read_matrix_market(path: PathLike) -> CSRGraph:
+    """Read an adjacency matrix in MatrixMarket coordinate format.
+
+    ``symmetric`` files become undirected graphs, ``general`` files
+    directed graphs. Entry values (for non-``pattern`` files) are
+    ignored — the paper's algorithms are unweighted.
+    """
+    fh, owned = _open_text(path, "r")
+    try:
+        header = fh.readline()
+        parts = header.lower().split()
+        if (
+            len(parts) != 5
+            or parts[0] != "%%matrixmarket"
+            or parts[1] != "matrix"
+            or parts[2] != "coordinate"
+        ):
+            raise GraphFormatError(f"bad MatrixMarket header: {header!r}")
+        if parts[3] not in ("pattern", "integer", "real"):
+            raise GraphFormatError(f"unsupported field type {parts[3]!r}")
+        if parts[4] not in ("general", "symmetric"):
+            raise GraphFormatError(f"unsupported symmetry {parts[4]!r}")
+        symmetric = parts[4] == "symmetric"
+
+        size_line = None
+        for line in fh:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+                break
+        if size_line is None:
+            raise GraphFormatError("missing size line")
+        dims = size_line.split()
+        if len(dims) != 3:
+            raise GraphFormatError(f"malformed size line: {size_line!r}")
+        rows, cols, nnz = (int(x) for x in dims)
+        n = max(rows, cols)
+
+        src_list, dst_list = [], []
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphFormatError(
+                    f"entry {lineno}: malformed record {stripped!r}"
+                )
+            i, j = int(fields[0]), int(fields[1])
+            if not (1 <= i <= n and 1 <= j <= n):
+                raise GraphFormatError(
+                    f"entry {lineno}: index outside [1, {n}]"
+                )
+            src_list.append(i - 1)
+            dst_list.append(j - 1)
+        if len(src_list) != nnz:
+            raise GraphFormatError(
+                f"size line declares {nnz} entries, file has {len(src_list)}"
+            )
+    finally:
+        if owned:
+            fh.close()
+    return CSRGraph.from_arcs(
+        n,
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        directed=not symmetric,
+    )
+
+
+def write_matrix_market(graph: CSRGraph, path: PathLike) -> None:
+    """Write the adjacency as a ``pattern`` MatrixMarket file.
+
+    Undirected graphs are written as ``symmetric`` (lower-triangle
+    entries), directed graphs as ``general``.
+    """
+    fh, owned = _open_text(path, "w")
+    try:
+        symmetry = "general" if graph.directed else "symmetric"
+        fh.write(f"%%MatrixMarket matrix coordinate pattern {symmetry}\n")
+        src, dst = graph.arcs()
+        if not graph.directed:
+            keep = src >= dst  # lower triangle by convention
+            src, dst = src[keep], dst[keep]
+        fh.write(f"{graph.n} {graph.n} {src.size}\n")
+        for u, v in zip(src.tolist(), dst.tolist()):
+            fh.write(f"{u + 1} {v + 1}\n")
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,86 @@
+"""Format sniffing and a one-call loader/saver.
+
+``load_graph`` picks the right reader from the file extension, falling
+back to content sniffing (a DIMACS problem line, a MatrixMarket banner,
+otherwise edge list) so downloaded files with odd names still load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.io.dimacs import read_dimacs, write_dimacs
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = ["sniff_format", "load_graph", "save_graph"]
+
+_EXTENSIONS = {
+    ".txt": "edgelist",
+    ".edges": "edgelist",
+    ".el": "edgelist",
+    ".gr": "dimacs",
+    ".dimacs": "dimacs",
+    ".mtx": "matrixmarket",
+    ".mm": "matrixmarket",
+}
+
+
+def sniff_format(path: Union[str, Path]) -> str:
+    """Best-effort format detection: extension first, then content.
+
+    Returns one of ``"edgelist"``, ``"dimacs"``, ``"matrixmarket"``.
+    """
+    path = Path(path)
+    ext = path.suffix.lower()
+    if ext in _EXTENSIONS:
+        return _EXTENSIONS[ext]
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.lower().startswith("%%matrixmarket"):
+                return "matrixmarket"
+            if stripped.startswith(("p sp", "c ")) or stripped == "c":
+                return "dimacs"
+            if stripped.startswith("#"):
+                return "edgelist"
+            return "edgelist"
+    return "edgelist"
+
+
+def load_graph(
+    path: Union[str, Path], *, directed: bool = False, fmt: str = ""
+) -> CSRGraph:
+    """Load a graph, auto-detecting the format unless ``fmt`` is given.
+
+    ``directed`` applies to formats that do not encode directedness
+    themselves (edge lists, DIMACS); MatrixMarket symmetry wins for
+    ``.mtx`` files.
+    """
+    fmt = fmt or sniff_format(path)
+    if fmt == "edgelist":
+        graph, _ids = read_edgelist(path, directed=directed)
+        return graph
+    if fmt == "dimacs":
+        return read_dimacs(path, directed=directed)
+    if fmt == "matrixmarket":
+        return read_matrix_market(path)
+    raise GraphFormatError(f"unknown graph format {fmt!r}")
+
+
+def save_graph(graph: CSRGraph, path: Union[str, Path], *, fmt: str = "") -> None:
+    """Save a graph; the format defaults to the extension's."""
+    fmt = fmt or _EXTENSIONS.get(Path(path).suffix.lower(), "edgelist")
+    if fmt == "edgelist":
+        write_edgelist(graph, path)
+    elif fmt == "dimacs":
+        write_dimacs(graph, path)
+    elif fmt == "matrixmarket":
+        write_matrix_market(graph, path)
+    else:
+        raise GraphFormatError(f"unknown graph format {fmt!r}")

@@ -1,0 +1,51 @@
+"""Measurement and instrumentation.
+
+Everything the evaluation section needs to quantify:
+
+* :mod:`repro.metrics.teps` — the paper's TEPS_BC = n·m/t search rate
+  (Tables 2/3);
+* :mod:`repro.metrics.redundancy` — partial/total redundancy
+  accounting (Figure 7);
+* :mod:`repro.metrics.breakdown` — APGRE phase timing shares
+  (Figure 8);
+* :mod:`repro.metrics.stats` — graph and partition statistics
+  (Tables 1/4);
+* :mod:`repro.metrics.timers` — tiny wall-clock helpers.
+"""
+
+from repro.metrics.teps import mteps, teps
+from repro.metrics.redundancy import RedundancyBreakdown, measure_redundancy
+from repro.metrics.breakdown import phase_breakdown
+from repro.metrics.stats import (
+    GraphStats,
+    PartitionStats,
+    SubgraphRow,
+    graph_stats,
+    partition_stats,
+)
+from repro.metrics.comparison import (
+    ScoreComparison,
+    compare_scores,
+    kendall_tau,
+    top_k_overlap,
+)
+from repro.metrics.timers import Timer, stopwatch
+
+__all__ = [
+    "teps",
+    "mteps",
+    "RedundancyBreakdown",
+    "measure_redundancy",
+    "phase_breakdown",
+    "GraphStats",
+    "PartitionStats",
+    "SubgraphRow",
+    "graph_stats",
+    "partition_stats",
+    "ScoreComparison",
+    "compare_scores",
+    "kendall_tau",
+    "top_k_overlap",
+    "Timer",
+    "stopwatch",
+]

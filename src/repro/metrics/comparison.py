@@ -1,0 +1,104 @@
+"""Comparing BC score vectors (exact vs exact, exact vs approximate).
+
+The approximation algorithms (sampling, adaptive) are judged by how
+well they *rank* vertices, not by absolute error — the downstream uses
+the paper cites (community detection, contingency screening, key-actor
+identification) consume the top of the ranking. This module gathers
+the comparison measures the tests and benchmark reports use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = ["ScoreComparison", "compare_scores", "top_k_overlap", "kendall_tau"]
+
+
+@dataclass
+class ScoreComparison:
+    """Summary of how two score vectors relate."""
+
+    max_abs_diff: float
+    max_rel_diff: float  # relative to the reference, eps-guarded
+    pearson: float
+    kendall: float
+    top10_overlap: float  # Jaccard of the top-10% vertex sets
+
+    @property
+    def exact_match(self) -> bool:
+        """Within float64 round-off of the reference."""
+        return self.max_abs_diff < 1e-6
+
+
+def top_k_overlap(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Jaccard overlap of the two top-``k`` vertex sets."""
+    if k <= 0:
+        raise BenchmarkError(f"k must be positive, got {k}")
+    k = min(k, a.size)
+    if k == 0:
+        return 1.0
+    top_a = set(np.argsort(-a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-b, kind="stable")[:k].tolist())
+    union = top_a | top_b
+    return len(top_a & top_b) / len(union) if union else 1.0
+
+
+def kendall_tau(a: np.ndarray, b: np.ndarray) -> float:
+    """Kendall rank correlation (tau-a, ties counted as agreements).
+
+    O(n²) pair enumeration — fine for the few-thousand-vertex graphs
+    this package works with; scipy's O(n log n) version is used when
+    available.
+    """
+    if a.size != b.size:
+        raise BenchmarkError("score vectors must have equal length")
+    n = a.size
+    if n < 2:
+        return 1.0
+    try:
+        from scipy.stats import kendalltau
+
+        tau = kendalltau(a, b).statistic
+        return float(tau) if np.isfinite(tau) else 1.0
+    except ImportError:  # pragma: no cover - scipy present in CI
+        concordant = 0
+        total = 0
+        for i in range(n):
+            da = a[i] - a[i + 1 :]
+            db = b[i] - b[i + 1 :]
+            prod = da * db
+            concordant += int((prod > 0).sum()) + int(
+                ((da == 0) & (db == 0)).sum()
+            )
+            total += prod.size
+        return 2.0 * concordant / total - 1.0
+
+
+def compare_scores(
+    reference: np.ndarray, candidate: np.ndarray
+) -> ScoreComparison:
+    """Full comparison of ``candidate`` against ``reference``."""
+    if reference.shape != candidate.shape:
+        raise BenchmarkError(
+            f"shape mismatch: {reference.shape} vs {candidate.shape}"
+        )
+    if reference.size == 0:
+        return ScoreComparison(0.0, 0.0, 1.0, 1.0, 1.0)
+    diff = np.abs(candidate - reference)
+    denom = np.maximum(np.abs(reference), 1e-12)
+    if reference.size < 2 or np.allclose(reference, reference[0]):
+        pearson = 1.0 if np.allclose(candidate, candidate[0]) else 0.0
+    else:
+        pearson = float(np.corrcoef(reference, candidate)[0, 1])
+    k = max(reference.size // 10, 1)
+    return ScoreComparison(
+        max_abs_diff=float(diff.max()),
+        max_rel_diff=float((diff / denom).max()),
+        pearson=pearson,
+        kendall=kendall_tau(reference, candidate),
+        top10_overlap=top_k_overlap(reference, candidate, k),
+    )

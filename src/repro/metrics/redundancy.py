@@ -1,0 +1,142 @@
+"""Redundancy accounting (paper Figure 7: "Breakdown of BC computation").
+
+The paper splits Brandes' total traversal work into three shares:
+
+* **total redundancy** — work spent on DAGs rooted at removable
+  pendant sources (their dependencies are derivable, so the DAGs need
+  not be built at all);
+* **partial redundancy** — work re-traversing common sub-DAGs that the
+  articulation decomposition shares across sources;
+* **essential** — the work APGRE actually performs in its BC phase.
+
+Work is measured in *forward-traversal arcs*: one BFS from source
+``s`` examines the out-arcs of every vertex it reaches, which is the
+DAG-construction cost (the backward phase re-walks the same DAG, so a
+consistent forward-only convention preserves all ratios).
+
+Formally, with ``W(s, G)`` = arcs examined by a BFS from ``s`` on
+``G``::
+
+    W_brandes = Σ_{v ∈ V}          W(v, G)
+    W_1       = Σ_{v ∈ V \\ removed} W(v, G)      (pendants eliminated)
+    W_apgre   = Σ_{SGi} Σ_{s ∈ R_sgi} W(s, SGi)  (decomposed)
+
+    total_fraction     = (W_brandes − W_1) / W_brandes
+    partial_fraction   = (W_1 − W_apgre)  / W_brandes
+    essential_fraction = W_apgre          / W_brandes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.decompose.partition import (
+    DEFAULT_THRESHOLD,
+    Partition,
+    graph_partition,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import expand_frontier
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["RedundancyBreakdown", "measure_redundancy", "bfs_arc_work"]
+
+
+@dataclass
+class RedundancyBreakdown:
+    """The three work shares of Figure 7 (they sum to 1)."""
+
+    graph_name: str
+    w_brandes: int
+    w_after_total: int
+    w_apgre: int
+
+    @property
+    def total_fraction(self) -> float:
+        """Share eliminated by pendant-source removal (γ/R)."""
+        if self.w_brandes == 0:
+            return 0.0
+        return (self.w_brandes - self.w_after_total) / self.w_brandes
+
+    @property
+    def partial_fraction(self) -> float:
+        """Share eliminated by common-sub-DAG reuse (α/β)."""
+        if self.w_brandes == 0:
+            return 0.0
+        return (self.w_after_total - self.w_apgre) / self.w_brandes
+
+    @property
+    def essential_fraction(self) -> float:
+        """Share APGRE still has to traverse."""
+        if self.w_brandes == 0:
+            return 1.0
+        return self.w_apgre / self.w_brandes
+
+
+def bfs_arc_work(graph: CSRGraph, source: int) -> int:
+    """Arcs a plain forward BFS from ``source`` examines.
+
+    Equal to the summed out-degree of every reached vertex (each
+    reached vertex is expanded exactly once).
+    """
+    n = graph.n
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    frontier = np.asarray([source], dtype=VERTEX_DTYPE)
+    work = 0
+    while frontier.size:
+        dst, _src = expand_frontier(
+            graph.out_indptr, graph.out_indices, frontier
+        )
+        work += int(dst.size)
+        if dst.size == 0:
+            break
+        nxt = np.unique(dst[~seen[dst]])
+        if nxt.size == 0:
+            break
+        seen[nxt] = True
+        frontier = nxt
+    return work
+
+
+def measure_redundancy(
+    graph: CSRGraph,
+    *,
+    name: str = "",
+    threshold: int = DEFAULT_THRESHOLD,
+    partition: Optional[Partition] = None,
+) -> RedundancyBreakdown:
+    """Compute the Figure-7 breakdown for one graph.
+
+    Costs one BFS per vertex plus one per sub-graph root — roughly two
+    BC forward phases; intended for the benchmark harness, not hot
+    paths.
+    """
+    if partition is None:
+        partition = graph_partition(graph, threshold=threshold)
+
+    per_vertex = np.zeros(graph.n, dtype=np.int64)
+    for v in range(graph.n):
+        per_vertex[v] = bfs_arc_work(graph, v)
+    w_brandes = int(per_vertex.sum())
+
+    removed_mask = np.zeros(graph.n, dtype=bool)
+    for sg in partition.subgraphs:
+        if sg.removed.size:
+            removed_mask[sg.vertices[sg.removed]] = True
+    w_after_total = int(per_vertex[~removed_mask].sum())
+
+    w_apgre = 0
+    for sg in partition.subgraphs:
+        for s in sg.roots.tolist():
+            w_apgre += bfs_arc_work(sg.graph, s)
+
+    return RedundancyBreakdown(
+        graph_name=name,
+        w_brandes=w_brandes,
+        w_after_total=w_after_total,
+        w_apgre=w_apgre,
+    )

@@ -1,0 +1,119 @@
+"""Graph and partition statistics (paper Tables 1 and 4).
+
+Table 1 lists each evaluation graph's size and directedness; Table 4
+reports, per graph, the number of sub-graphs and the sizes of the
+three largest (with the top sub-graph's share of vertices and edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.decompose.partition import Partition
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import degrees
+
+__all__ = [
+    "GraphStats",
+    "SubgraphRow",
+    "PartitionStats",
+    "graph_stats",
+    "partition_stats",
+]
+
+
+@dataclass
+class GraphStats:
+    """Structural summary of one graph (Table-1 row + APGRE knobs)."""
+
+    name: str
+    num_vertices: int
+    num_arcs: int
+    directed: bool
+    num_articulation_points: int
+    num_pendants: int  # degree-1 (und.) / source-pendant (dir.) vertices
+    max_degree: int
+    mean_degree: float
+
+    @property
+    def pendant_fraction(self) -> float:
+        return self.num_pendants / self.num_vertices if self.num_vertices else 0.0
+
+
+def graph_stats(graph: CSRGraph, *, name: str = "") -> GraphStats:
+    """Compute a :class:`GraphStats` (runs one BCC decomposition)."""
+    from repro.decompose.articulation import articulation_points
+
+    deg = degrees(graph)
+    if graph.directed:
+        pend = int(
+            ((graph.in_degrees() == 0) & (graph.out_degrees() == 1)).sum()
+        )
+    else:
+        pend = int((deg == 1).sum())
+    return GraphStats(
+        name=name,
+        num_vertices=graph.n,
+        num_arcs=graph.num_arcs,
+        directed=graph.directed,
+        num_articulation_points=int(articulation_points(graph).size),
+        num_pendants=pend,
+        max_degree=int(deg.max()) if graph.n else 0,
+        mean_degree=float(deg.mean()) if graph.n else 0.0,
+    )
+
+
+@dataclass
+class SubgraphRow:
+    """One sub-graph's size row (Table 4 columns)."""
+
+    num_vertices: int
+    num_arcs: int
+    vertex_fraction: float  # V / G.V
+    arc_fraction: float  # E / G.E
+
+
+@dataclass
+class PartitionStats:
+    """Table-4 row for one graph."""
+
+    name: str
+    num_subgraphs: int
+    rows: List[SubgraphRow]  # largest-first; at least top/2nd/3rd
+
+    @property
+    def top(self) -> SubgraphRow:
+        return self.rows[0]
+
+
+def partition_stats(
+    partition: Partition, *, name: str = "", keep: int = 3
+) -> PartitionStats:
+    """Summarise a partition as the paper's Table 4 does.
+
+    ``keep`` limits how many largest sub-graphs are materialised as
+    rows (the paper shows three).
+    """
+    g = partition.graph
+    n = max(g.n, 1)
+    m = max(g.num_arcs, 1)
+    ordered = sorted(
+        partition.subgraphs, key=lambda s: (-s.num_arcs, -s.num_vertices)
+    )
+    rows = [
+        SubgraphRow(
+            num_vertices=sg.num_vertices,
+            num_arcs=sg.num_arcs,
+            vertex_fraction=sg.num_vertices / n,
+            arc_fraction=sg.num_arcs / m,
+        )
+        for sg in ordered[:keep]
+    ]
+    while len(rows) < keep:  # tiny graphs may have < keep sub-graphs
+        rows.append(SubgraphRow(0, 0, 0.0, 0.0))
+    return PartitionStats(
+        name=name, num_subgraphs=partition.num_subgraphs, rows=rows
+    )

@@ -1,0 +1,38 @@
+"""Traversed-edges-per-second rates (paper §5.1).
+
+"For the exact computation of betweenness centrality, the number of
+TEPS has been defined as TEPS_BC = n·m / t" (Sarıyüce et al., JPDC'14,
+as adopted by the paper). Note this is a *normalised problem-size*
+rate, not a count of edges the algorithm actually touched — that is
+precisely what makes redundancy elimination show up as a rate increase
+(APGRE touches fewer edges for the same n·m credit).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["teps", "mteps", "graph_teps", "graph_mteps"]
+
+
+def teps(n: int, m: int, seconds: float) -> float:
+    """TEPS_BC = n·m/t for an exact BC run over the whole graph."""
+    if seconds <= 0:
+        raise BenchmarkError(f"elapsed time must be positive, got {seconds}")
+    return (n * m) / seconds
+
+
+def mteps(n: int, m: int, seconds: float) -> float:
+    """Millions of TEPS (the unit of the paper's Table 3)."""
+    return teps(n, m, seconds) / 1e6
+
+
+def graph_teps(graph: CSRGraph, seconds: float) -> float:
+    """TEPS_BC with n/m taken from the graph (m = stored arcs)."""
+    return teps(graph.n, graph.num_arcs, seconds)
+
+
+def graph_mteps(graph: CSRGraph, seconds: float) -> float:
+    """MTEPS with n/m taken from the graph."""
+    return graph_teps(graph, seconds) / 1e6

@@ -1,0 +1,61 @@
+"""Minimal wall-clock helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["stopwatch", "Timer"]
+
+
+@dataclass
+class _Elapsed:
+    """Mutable box filled in when a :func:`stopwatch` block exits."""
+
+    seconds: float = 0.0
+
+
+@contextmanager
+def stopwatch() -> Iterator[_Elapsed]:
+    """Time a ``with`` block::
+
+        with stopwatch() as t:
+            work()
+        print(t.seconds)
+    """
+    box = _Elapsed()
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box.seconds = time.perf_counter() - start
+
+
+@dataclass
+class Timer:
+    """Accumulate named phase durations across repeated sections.
+
+    ``Timer.phase("x")`` blocks may nest with *different* names; the
+    totals are independent per name.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def fraction(self, name: str) -> float:
+        """Share of this phase in the total recorded time."""
+        total = sum(self.totals.values())
+        if total == 0:
+            return 0.0
+        return self.totals.get(name, 0.0) / total

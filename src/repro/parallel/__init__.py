@@ -1,0 +1,24 @@
+"""Parallel execution substrate.
+
+The paper's two-level parallelism maps onto Python as follows
+(DESIGN.md §5): fine-grained level-synchronous parallelism is numpy
+vectorisation (:mod:`repro.graph.traversal`), coarse-grained
+parallelism across sub-graphs/sources is a fork-based process pool
+(:mod:`repro.parallel.pool`) — processes, not threads, because the
+GIL serialises the per-level driver code. Sub-graph tasks are ordered
+by LPT (:mod:`repro.parallel.scheduler`) so the dominant top sub-graph
+starts first.
+"""
+
+from repro.parallel.pool import fork_map, map_sources_bc, thread_map
+from repro.parallel.scheduler import assign_lpt, lpt_order
+from repro.parallel.sharedmem import SharedArray
+
+__all__ = [
+    "fork_map",
+    "map_sources_bc",
+    "thread_map",
+    "assign_lpt",
+    "lpt_order",
+    "SharedArray",
+]

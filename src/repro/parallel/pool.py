@@ -1,0 +1,149 @@
+"""Fork-based process pools and thread pools.
+
+``fork_map`` is the coarse-grained primitive: it runs a module-level
+function over a list of payloads in worker processes created with the
+``fork`` start method, so the (immutable, read-only) CSR graph arrays
+are inherited copy-on-write — no serialisation of the graph, matching
+the paper's shared-memory setting as closely as CPython allows.
+
+On platforms without ``fork`` (or when ``workers <= 1``) everything
+degrades to an in-process loop, keeping results bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.types import SCORE_DTYPE
+
+__all__ = ["fork_map", "thread_map", "map_sources_bc", "available_workers"]
+
+# worker-global state, installed by the pool initializer (inherited
+# through fork, so large arrays are never pickled)
+_STATE: dict = {}
+
+
+def available_workers() -> int:
+    """Number of usable CPUs (honours sched_getaffinity when present)."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _supports_fork() -> bool:
+    return "fork" in mp.get_all_start_methods()
+
+
+def _install_state(state: dict) -> None:
+    _STATE.clear()
+    _STATE.update(state)
+
+
+def fork_map(
+    func: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    workers: int,
+    state: Optional[dict] = None,
+) -> List[Any]:
+    """Map ``func`` over ``payloads`` using forked worker processes.
+
+    Parameters
+    ----------
+    func:
+        A *module-level* function (picklable by reference). It may
+        read the worker-global ``state`` via
+        :func:`get_worker_state`.
+    payloads:
+        Small picklable items (vertex ranges, sub-graph indices...).
+        Everything heavy belongs in ``state``.
+    workers:
+        Process count; ``<= 1`` (or no fork support, or one payload)
+        runs inline.
+    state:
+        Read-only context installed in every worker before the map.
+    """
+    if state is not None:
+        _install_state(state)
+    if workers <= 1 or len(payloads) <= 1 or not _supports_fork():
+        return [func(p) for p in payloads]
+    ctx = mp.get_context("fork")
+    workers = min(workers, len(payloads))
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(func, payloads)
+
+
+def get_worker_state() -> dict:
+    """The state dict installed by the enclosing :func:`fork_map`."""
+    return _STATE
+
+
+def thread_map(
+    func: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    workers: int,
+) -> List[Any]:
+    """Thread-pool map, preserving payload order.
+
+    Provided for the scaling benchmarks' thread mode: with CPython's
+    GIL the speedup is limited to whatever time numpy kernels spend
+    outside the interpreter — measuring exactly that is the point.
+    """
+    if workers <= 1 or len(payloads) <= 1:
+        return [func(p) for p in payloads]
+    with ThreadPoolExecutor(max_workers=workers) as ex:
+        return list(ex.map(func, payloads))
+
+
+# ----------------------------------------------------------------------
+# source-parallel BC (used by the baselines' ``workers=`` option)
+# ----------------------------------------------------------------------
+def _bc_source_chunk(chunk: Sequence[int]) -> np.ndarray:
+    from repro.baselines.common import per_source_delta
+
+    graph: CSRGraph = _STATE["graph"]
+    mode: str = _STATE["mode"]
+    forward = _STATE["forward"]
+    bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    for s in chunk:
+        delta = per_source_delta(graph, int(s), mode=mode, forward=forward)
+        delta[s] = 0.0
+        bc += delta
+    return bc
+
+
+def map_sources_bc(
+    graph: CSRGraph,
+    sources: Sequence[int],
+    *,
+    mode: str,
+    forward: Callable,
+    workers: int,
+) -> np.ndarray:
+    """Sum per-source BC contributions across a process pool."""
+    if not sources:
+        return np.zeros(graph.n, dtype=SCORE_DTYPE)
+    chunk_count = max(workers * 4, 1)
+    chunks = [
+        list(sources[i::chunk_count])
+        for i in range(chunk_count)
+        if sources[i::chunk_count]
+    ]
+    parts = fork_map(
+        _bc_source_chunk,
+        chunks,
+        workers=workers,
+        state={"graph": graph, "mode": mode, "forward": forward},
+    )
+    total = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    for part in parts:
+        total += part
+    return total

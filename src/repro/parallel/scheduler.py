@@ -1,0 +1,59 @@
+"""Task ordering and assignment for coarse-grained parallelism.
+
+The decomposition is extremely skewed — the top sub-graph holds most
+of the work (paper Table 4 / Figure 8) — so sub-graph tasks are
+dispatched largest-first (LPT, longest processing time). LPT is a
+4/3-approximation for makespan on identical machines, and, more to the
+point here, guarantees the dominant sub-graph is never left for last.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["lpt_order", "assign_lpt", "lpt_makespan"]
+
+
+def lpt_order(sizes: Sequence[float]) -> List[int]:
+    """Indices of ``sizes`` sorted descending (stable for ties)."""
+    arr = np.asarray(sizes, dtype=float)
+    return np.argsort(-arr, kind="stable").tolist()
+
+
+def assign_lpt(sizes: Sequence[float], workers: int) -> List[List[int]]:
+    """Greedy LPT assignment of tasks to ``workers`` bins.
+
+    Returns one list of task indices per worker; each task goes to the
+    currently least-loaded bin, in descending size order. Empty bins
+    are returned (not dropped) so callers can zip with worker ids.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    bins: List[List[int]] = [[] for _ in range(workers)]
+    heap = [(0.0, w) for w in range(workers)]
+    heapq.heapify(heap)
+    for task in lpt_order(sizes):
+        load, w = heapq.heappop(heap)
+        bins[w].append(task)
+        heapq.heappush(heap, (load + float(sizes[task]), w))
+    return bins
+
+
+def lpt_makespan(sizes: Sequence[float], workers: int) -> float:
+    """Makespan of the greedy LPT assignment.
+
+    Used as the *work/critical-path model* for the scaling figures: on
+    a machine with ``workers`` real cores, coarse-grained execution of
+    these tasks cannot beat this bound, and LPT typically achieves it —
+    so ``sum(sizes) / lpt_makespan(sizes, k)`` is the modelled speedup
+    at ``k`` workers (see EXPERIMENTS.md on why the single-core host
+    reports a model column at all).
+    """
+    bins = assign_lpt(sizes, workers)
+    return max(
+        (sum(float(sizes[t]) for t in tasks) for tasks in bins),
+        default=0.0,
+    )

@@ -1,0 +1,87 @@
+"""POSIX shared-memory arrays.
+
+With the ``fork`` start method the read-only graph is shared for free
+(copy-on-write pages), so the pool never needs this module. It exists
+for the two situations where fork is unavailable or insufficient:
+``spawn``-only platforms (broadcasting the CSR arrays without per-task
+pickling) and writeback buffers that must outlive a worker. The
+wrapper owns the segment lifecycle explicitly because the interpreter
+does not reliably garbage-collect shared memory at exit.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A numpy array backed by a named POSIX shared-memory segment.
+
+    Usage::
+
+        owner = SharedArray.create((n,), np.float64)   # parent
+        view  = SharedArray.attach(owner.name, (n,), np.float64)  # child
+        ...
+        view.close()      # every attacher
+        owner.unlink()    # owner only, once
+
+    The array is exposed via :attr:`array`; it remains valid until
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
+        """Allocate a zero-initialised shared array (caller owns it)."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        out = cls(shm, shape, dtype, owner=True)
+        out.array.fill(0)
+        return out
+
+    @classmethod
+    def attach(
+        cls, name: str, shape: Tuple[int, ...], dtype
+    ) -> "SharedArray":
+        """Attach to an existing segment by name (non-owning view)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, shape, dtype, owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name to hand to :meth:`attach` in another process."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (array becomes invalid)."""
+        # drop the numpy view first: closing a mapped buffer raises
+        self.array = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after close)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

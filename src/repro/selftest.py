@@ -1,0 +1,140 @@
+"""Installation self-test.
+
+``repro.selftest.run_selftest()`` (or ``repro-bc selftest``) exercises
+one representative path through every layer — generators, partition,
+α/β, APGRE, baselines, metrics, I/O — in a couple of seconds, and
+raises :class:`~repro.errors.ReproError` on the first disagreement.
+Meant for users verifying an install or a port, not as a substitute
+for the test suite.
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["SelfTestReport", "run_selftest"]
+
+
+@dataclass
+class SelfTestReport:
+    """Outcome of :func:`run_selftest`."""
+
+    checks: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.checks.append(message)
+
+    def __str__(self) -> str:
+        lines = [f"repro self-test: {len(self.checks)} checks passed"]
+        lines += [f"  [ok] {c}" for c in self.checks]
+        return "\n".join(lines)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReproError(f"self-test failed: {message}")
+
+
+def run_selftest(*, seed: int = 12345) -> SelfTestReport:
+    """Run the end-to-end sanity checks; returns the passing report.
+
+    Raises
+    ------
+    ReproError
+        On the first failed check, with a pointer to what broke.
+    """
+    from repro.baselines import (
+        brandes_bc,
+        brandes_python_bc,
+        hybrid_bc,
+        sampling_bc,
+        succs_bc,
+    )
+    from repro.core.apgre import apgre_bc_detailed
+    from repro.core.treefold import treefold_bc
+    from repro.decompose import graph_partition
+    from repro.generators import analogue_graph, paper_example_graph
+    from repro.io import read_edgelist, write_edgelist
+    from repro.metrics import measure_redundancy
+
+    report = SelfTestReport()
+
+    # 1. generators + decomposition
+    g = analogue_graph("Email-Enron", scale=0.25)
+    partition = graph_partition(g)
+    partition.validate()
+    _require(partition.num_subgraphs > 1, "partition found no decomposition")
+    report.note(
+        f"generated Email-Enron analogue (n={g.n}) and decomposed it "
+        f"into {partition.num_subgraphs} sub-graphs"
+    )
+
+    # 2. APGRE == Brandes == the other exact baselines
+    reference = brandes_bc(g)
+    result = apgre_bc_detailed(g)
+    _require(
+        bool(np.allclose(result.scores, reference, rtol=1e-8, atol=1e-8)),
+        "APGRE disagrees with Brandes",
+    )
+    for name, fn in (("succs", succs_bc), ("hybrid", hybrid_bc),
+                     ("treefold", treefold_bc)):
+        _require(
+            bool(np.allclose(fn(g), reference, rtol=1e-8, atol=1e-8)),
+            f"{name} disagrees with Brandes",
+        )
+    report.note(
+        "APGRE, succs, hybrid and treefold agree with Brandes "
+        f"(max score {reference.max():.1f})"
+    )
+    _require(
+        result.stats.num_removed_pendants > 0,
+        "no pendant sources eliminated on a pendant-heavy analogue",
+    )
+    report.note(
+        f"{result.stats.num_removed_pendants} pendant sources eliminated, "
+        f"{result.stats.num_sources} BFS sources run (vs {g.n} for Brandes)"
+    )
+
+    # 3. exact-arithmetic oracle on the paper's worked example
+    pe = paper_example_graph()
+    _require(
+        bool(
+            np.allclose(
+                brandes_python_bc(pe, exact=True), brandes_bc(pe), rtol=1e-12
+            )
+        ),
+        "float64 Brandes drifts from exact arithmetic on the paper example",
+    )
+    report.note("float64 scores match exact-Fraction arithmetic")
+
+    # 4. redundancy accounting is a valid partition of work
+    rb = measure_redundancy(g)
+    total = rb.partial_fraction + rb.total_fraction + rb.essential_fraction
+    _require(abs(total - 1.0) < 1e-9, "redundancy fractions do not sum to 1")
+    report.note(
+        f"redundancy breakdown: {rb.partial_fraction:.0%} partial, "
+        f"{rb.total_fraction:.0%} total, {rb.essential_fraction:.0%} essential"
+    )
+
+    # 5. approximation sanity
+    est = sampling_bc(g, k=max(g.n // 5, 1), seed=seed)
+    corr = float(np.corrcoef(est, reference)[0, 1])
+    _require(corr > 0.5, f"sampling decorrelated from exact ({corr:.2f})")
+    report.note(f"sampling estimate correlates at {corr:.2f}")
+
+    # 6. I/O round trip
+    buffer = io.StringIO()
+    write_edgelist(g, buffer)
+    buffer.seek(0)
+    back, _ids = read_edgelist(buffer, directed=g.directed, densify=False)
+    _require(back == g, "edge-list round trip changed the graph")
+    report.note("edge-list I/O round trip is lossless")
+
+    return report

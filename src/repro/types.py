@@ -1,0 +1,73 @@
+"""Shared type aliases and small value types used across the package.
+
+Centralising these keeps signatures readable (``VertexArray`` instead of
+``npt.NDArray[np.int32]``) and pins the dtype conventions in one place:
+
+* vertex ids are ``int32`` (graphs here are far below 2**31 vertices and
+  halving index memory roughly doubles effective cache size for the
+  traversal kernels, per the HPC guide's cache-effects advice);
+* ``indptr`` offsets are ``int64`` so edge counts never overflow;
+* path counts σ and dependencies δ are ``float64`` (the standard choice
+  in array BC implementations; see DESIGN.md §3 for the precision note).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "VERTEX_DTYPE",
+    "INDPTR_DTYPE",
+    "SCORE_DTYPE",
+    "VertexArray",
+    "IndptrArray",
+    "ScoreArray",
+    "EdgeList",
+    "BCAlgorithm",
+    "Seed",
+]
+
+#: dtype used for vertex ids and adjacency targets.
+VERTEX_DTYPE = np.int32
+
+#: dtype used for CSR row offsets.
+INDPTR_DTYPE = np.int64
+
+#: dtype used for σ path counts, δ dependencies and BC scores.
+SCORE_DTYPE = np.float64
+
+#: 1-D array of vertex ids.
+VertexArray = np.ndarray
+
+#: 1-D array of CSR offsets.
+IndptrArray = np.ndarray
+
+#: 1-D array of float64 scores.
+ScoreArray = np.ndarray
+
+#: Anything accepted as an edge list by the graph builders.
+EdgeList = Union[Sequence[tuple], np.ndarray, Mapping[int, Sequence[int]]]
+
+#: Callable signature shared by every BC implementation in this package:
+#: it receives a graph and returns the unnormalised BC score array.
+BCAlgorithm = Callable[["CSRGraph"], ScoreArray]
+
+#: Random seed accepted by the generators.
+Seed = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: Seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an ``int`` (deterministic stream)
+    or an existing generator (returned unchanged so callers can share a
+    stream across several generator calls).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

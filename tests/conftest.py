@@ -1,0 +1,101 @@
+"""Shared fixtures and oracle helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph.build import from_networkx
+from repro.graph.csr import CSRGraph
+
+
+def nx_betweenness(nxg) -> np.ndarray:
+    """networkx BC in this package's convention (ordered pairs).
+
+    networkx halves unnormalised undirected scores (each unordered
+    pair counted once); the paper sums over ordered pairs, so
+    undirected oracle values are doubled.
+    """
+    raw = nx.betweenness_centrality(nxg, normalized=False)
+    out = np.zeros(nxg.number_of_nodes())
+    for v, score in raw.items():
+        out[v] = score
+    if not nxg.is_directed():
+        out *= 2.0
+    return out
+
+
+def graph_pair(nxg) -> tuple:
+    """(CSRGraph, networkx graph) with aligned integer labels."""
+    n = nxg.number_of_nodes()
+    return from_networkx(nxg, n=n), nxg
+
+
+def zoo() -> list:
+    """A diverse list of (name, CSRGraph, nx graph) triples.
+
+    Covers: undirected/directed, dense/sparse, trees, disconnected,
+    pendant-heavy, biconnected, and the paper's worked example.
+    """
+    out = []
+
+    def add(name, nxg):
+        g, nxg2 = graph_pair(nxg)
+        out.append((name, g, nxg2))
+
+    add("und-random", nx.gnm_random_graph(36, 60, seed=1))
+    add("und-dense", nx.gnm_random_graph(20, 120, seed=2))
+    add("und-sparse", nx.gnm_random_graph(40, 30, seed=3))
+    add("dir-random", nx.gnm_random_graph(30, 70, seed=4, directed=True))
+    add("dir-sparse", nx.gnm_random_graph(35, 40, seed=5, directed=True))
+    add("tree", nx.random_labeled_tree(25, seed=6))
+    add("cycle", nx.cycle_graph(12))
+    add("complete", nx.complete_graph(8))
+    add("star", nx.star_graph(9))
+    add("path", nx.path_graph(10))
+    add("barbell", nx.barbell_graph(5, 3))
+    add("lollipop", nx.lollipop_graph(6, 4))
+    # pendant-heavy directed graph (APGRE's total-redundancy case)
+    rng = np.random.default_rng(7)
+    pend = nx.gnm_random_graph(20, 35, seed=7, directed=True)
+    for i in range(12):
+        pend.add_edge(20 + i, int(rng.integers(0, 20)))
+    add("dir-pendants", pend)
+    # disconnected with isolated vertices
+    disc = nx.disjoint_union(
+        nx.gnm_random_graph(15, 25, seed=8), nx.gnm_random_graph(10, 14, seed=9)
+    )
+    disc.add_nodes_from([25, 26])
+    disc.add_edge(27, 28)
+    add("disconnected", disc)
+    # the paper's worked example
+    from repro.generators.structured import paper_example_graph
+
+    pe = paper_example_graph()
+    nxpe = nx.DiGraph()
+    nxpe.add_nodes_from(range(pe.n))
+    nxpe.add_edges_from(pe.iter_edges())
+    out.append(("paper-example", pe, nxpe))
+    return out
+
+
+_ZOO = zoo()
+
+
+@pytest.fixture(params=_ZOO, ids=[name for name, _g, _x in _ZOO])
+def zoo_entry(request):
+    """Parametrised fixture over the whole graph zoo."""
+    return request.param
+
+
+@pytest.fixture
+def und_random() -> CSRGraph:
+    g, _ = graph_pair(nx.gnm_random_graph(36, 60, seed=1))
+    return g
+
+
+@pytest.fixture
+def dir_random() -> CSRGraph:
+    g, _ = graph_pair(nx.gnm_random_graph(30, 70, seed=4, directed=True))
+    return g

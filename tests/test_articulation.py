@@ -1,0 +1,180 @@
+"""Tests for biconnected components and articulation points vs networkx."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.decompose.articulation import (
+    articulation_points,
+    biconnected_components,
+)
+from repro.decompose.bcc_tree import build_block_cut_tree
+from repro.errors import PartitionError
+from repro.graph.build import from_edges, from_networkx
+from repro.graph.ops import to_undirected
+
+
+class TestArticulationPoints:
+    def test_matches_networkx(self, zoo_entry):
+        _name, g, nxg = zoo_entry
+        und = nxg.to_undirected() if nxg.is_directed() else nxg
+        expected = sorted(nx.articulation_points(und))
+        assert articulation_points(g).tolist() == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_random(self, seed):
+        nxg = nx.gnm_random_graph(40, 50, seed=seed)
+        g = from_networkx(nxg, n=40)
+        assert articulation_points(g).tolist() == sorted(
+            nx.articulation_points(nxg)
+        )
+
+    def test_cycle_has_none(self):
+        g = from_edges([(i, (i + 1) % 8) for i in range(8)])
+        assert articulation_points(g).size == 0
+
+    def test_path_interior_all(self):
+        g = from_edges([(i, i + 1) for i in range(5)])
+        assert articulation_points(g).tolist() == [1, 2, 3, 4]
+
+    def test_directed_uses_shadow(self):
+        # 0->1->2 directed path: 1 cuts the undirected shadow
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        assert articulation_points(g).tolist() == [1]
+
+
+class TestBiconnectedComponents:
+    def test_rejects_directed(self):
+        g = from_edges([(0, 1)], directed=True)
+        with pytest.raises(PartitionError, match="undirected"):
+            biconnected_components(g)
+
+    def test_matches_networkx(self, zoo_entry):
+        _name, g, nxg = zoo_entry
+        und_nx = nxg.to_undirected() if nxg.is_directed() else nxg
+        result = biconnected_components(to_undirected(g))
+        ours = sorted(
+            sorted(map(tuple, np.sort(edges, axis=1).tolist()))
+            for edges in result.component_edges
+        )
+        theirs = sorted(
+            sorted(tuple(sorted(e)) for e in comp)
+            for comp in nx.biconnected_component_edges(und_nx)
+        )
+        assert ours == theirs
+
+    def test_every_edge_in_exactly_one_component(self, und_random):
+        result = biconnected_components(und_random)
+        seen = {}
+        for c, edges in enumerate(result.component_edges):
+            for u, v in np.sort(edges, axis=1).tolist():
+                assert (u, v) not in seen, "edge in two components"
+                seen[(u, v)] = c
+        assert len(seen) == und_random.num_undirected_edges
+
+    def test_component_vertices_match_edges(self, und_random):
+        result = biconnected_components(und_random)
+        for edges, verts in zip(
+            result.component_edges, result.component_vertices
+        ):
+            assert set(verts.tolist()) == set(edges.ravel().tolist())
+
+    def test_isolated_vertices_reported(self):
+        g = from_edges([(0, 1)], n=4)
+        result = biconnected_components(g)
+        assert result.isolated_vertices.tolist() == [2, 3]
+
+    def test_empty_graph(self):
+        g = from_edges([], n=3)
+        result = biconnected_components(g)
+        assert result.num_components == 0
+        assert result.isolated_vertices.tolist() == [0, 1, 2]
+
+    def test_single_edge_component(self):
+        g = from_edges([(0, 1)])
+        result = biconnected_components(g)
+        assert result.num_components == 1
+        assert result.articulation_points().size == 0
+
+    def test_bridge_separates_components(self):
+        # two triangles joined by a bridge
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+        )
+        result = biconnected_components(g)
+        assert result.num_components == 3  # triangle, bridge, triangle
+        assert result.articulation_points().tolist() == [2, 3]
+
+    def test_deep_graph_no_recursion_limit(self):
+        # a path much longer than the default recursion limit
+        n = 5000
+        g = from_edges([(i, i + 1) for i in range(n - 1)])
+        result = biconnected_components(g)
+        assert result.num_components == n - 1
+
+
+class TestBlockCutTree:
+    def test_cut_vertices_have_degree_ge_2(self, und_random):
+        tree = build_block_cut_tree(biconnected_components(und_random))
+        for a in tree.cut_blocks:
+            assert tree.degree_of_cut(a) >= 2
+
+    def test_block_cuts_consistent(self, und_random):
+        bcc = biconnected_components(und_random)
+        tree = build_block_cut_tree(bcc)
+        for c, cuts in enumerate(tree.block_cuts):
+            for a in cuts.tolist():
+                assert c in tree.cut_blocks[a].tolist()
+
+    def test_tree_acyclic(self):
+        # block-cut structure of any graph is a forest: |edges| =
+        # |nodes| - |components of the bipartite structure|
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]
+        )
+        bcc = biconnected_components(g)
+        tree = build_block_cut_tree(bcc)
+        n_nodes = tree.num_blocks + len(tree.cut_blocks)
+        n_edges = sum(len(c) for c in tree.block_cuts)
+        assert n_edges == n_nodes - 1  # connected graph -> a tree
+
+    def test_block_neighbors(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        # two cycles sharing vertex 2
+        bcc = biconnected_components(g)
+        tree = build_block_cut_tree(bcc)
+        assert tree.num_blocks == 2
+        assert tree.block_neighbors(0) == [1]
+        assert tree.block_neighbors(1) == [0]
+
+
+class TestBridges:
+    def test_matches_networkx(self, zoo_entry):
+        import networkx as nx
+        from repro.decompose.articulation import bridges
+        from repro.graph.ops import to_undirected
+
+        _name, g, nxg = zoo_entry
+        und_nx = nxg.to_undirected() if nxg.is_directed() else nxg
+        ours = set(map(tuple, bridges(g).tolist()))
+        theirs = {tuple(sorted(e)) for e in nx.bridges(und_nx)}
+        assert ours == theirs
+
+    def test_tree_all_edges_are_bridges(self):
+        from repro.decompose.articulation import bridges
+
+        g = from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert bridges(g).shape == (4, 2)
+
+    def test_cycle_has_none(self):
+        from repro.decompose.articulation import bridges
+
+        g = from_edges([(i, (i + 1) % 5) for i in range(5)])
+        assert bridges(g).shape == (0, 2)
+
+    def test_sorted_output(self):
+        from repro.decompose.articulation import bridges
+
+        g = from_edges([(3, 4), (0, 1), (1, 2)], n=5)
+        arr = bridges(g)
+        assert arr.tolist() == sorted(arr.tolist())

@@ -1,0 +1,202 @@
+"""Tests for every baseline BC algorithm."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    ALGORITHMS,
+    async_bc,
+    brandes_bc,
+    brandes_python_bc,
+    get_algorithm,
+    hybrid_bc,
+    lockfree_bc,
+    preds_bc,
+    sampling_bc,
+    succs_bc,
+)
+from repro.baselines.common import (
+    WorkCounter,
+    accumulate_dependencies,
+    per_source_delta,
+    run_per_source,
+)
+from repro.errors import AlgorithmError
+from repro.graph.build import from_edges, from_networkx
+from repro.graph.traversal import bfs_sigma
+
+from tests.conftest import nx_betweenness
+
+EXACT_UNDIRECTED = [brandes_bc, preds_bc, succs_bc, lockfree_bc, hybrid_bc, async_bc]
+EXACT_DIRECTED = [brandes_bc, preds_bc, succs_bc, lockfree_bc, hybrid_bc]
+
+
+class TestExactBaselines:
+    def test_all_match_networkx_on_zoo(self, zoo_entry):
+        name, g, nxg = zoo_entry
+        ref = nx_betweenness(nxg)
+        algos = EXACT_DIRECTED if g.directed else EXACT_UNDIRECTED
+        for fn in algos:
+            scores = fn(g)
+            np.testing.assert_allclose(
+                scores, ref, rtol=1e-9, atol=1e-8,
+                err_msg=f"{fn.__name__} on {name}",
+            )
+
+    def test_python_oracle_matches_networkx(self, zoo_entry):
+        name, g, nxg = zoo_entry
+        if g.n > 30:
+            return  # the pure-Python oracle is slow; small graphs only
+        ref = nx_betweenness(nxg)
+        np.testing.assert_allclose(
+            brandes_python_bc(g), ref, rtol=1e-9, atol=1e-8, err_msg=name
+        )
+
+    def test_exact_fraction_mode(self):
+        nxg = nx.gnm_random_graph(18, 30, seed=4)
+        g = from_networkx(nxg, n=18)
+        float_scores = brandes_python_bc(g, exact=False)
+        frac_scores = brandes_python_bc(g, exact=True)
+        np.testing.assert_allclose(float_scores, frac_scores, rtol=1e-9)
+
+    def test_empty_graph(self):
+        g = from_edges([], n=3)
+        for fn in EXACT_UNDIRECTED:
+            assert fn(g).tolist() == [0, 0, 0]
+
+    def test_async_rejects_directed(self):
+        g = from_edges([(0, 1)], directed=True)
+        with pytest.raises(AlgorithmError, match="undirected"):
+            async_bc(g)
+
+    def test_complete_graph_all_zero(self):
+        g = from_edges(
+            [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        )
+        for fn in EXACT_UNDIRECTED:
+            assert np.allclose(fn(g), 0.0)
+
+    def test_path_graph_closed_form(self):
+        # path 0-1-2-3-4: BC(v) = 2 * (#pairs split by v)
+        g = from_edges([(i, i + 1) for i in range(4)])
+        expected = [0.0, 2 * 3, 2 * 4, 2 * 3, 0.0]
+        for fn in EXACT_UNDIRECTED:
+            np.testing.assert_allclose(fn(g), expected)
+
+    def test_workers_param(self, und_random):
+        ref = brandes_bc(und_random)
+        for fn in (preds_bc, succs_bc, lockfree_bc, hybrid_bc):
+            np.testing.assert_allclose(
+                fn(und_random, workers=2), ref, rtol=1e-9, atol=1e-8
+            )
+
+
+class TestSampling:
+    def test_full_sample_is_exact(self, und_random):
+        est = sampling_bc(und_random, k=und_random.n, seed=1)
+        np.testing.assert_allclose(
+            est, brandes_bc(und_random), rtol=1e-9, atol=1e-8
+        )
+
+    def test_estimator_is_unbiased_on_average(self):
+        g = from_edges([(i, i + 1) for i in range(9)])  # path
+        exact = brandes_bc(g)
+        rng = np.random.default_rng(0)
+        est = np.zeros(g.n)
+        trials = 200
+        for _ in range(trials):
+            est += sampling_bc(g, k=3, seed=rng)
+        est /= trials
+        # middle vertex: generous tolerance, it's a statistical test
+        mid = g.n // 2
+        assert abs(est[mid] - exact[mid]) < 0.2 * exact[mid]
+
+    def test_correlates_with_exact(self):
+        nxg = nx.gnm_random_graph(60, 120, seed=6)
+        g = from_networkx(nxg, n=60)
+        exact = brandes_bc(g)
+        est = sampling_bc(g, k=20, seed=3)
+        assert np.corrcoef(exact, est)[0, 1] > 0.8
+
+    def test_k_validation(self, und_random):
+        with pytest.raises(AlgorithmError, match="positive"):
+            sampling_bc(und_random, k=0)
+
+    def test_empty_graph(self):
+        assert sampling_bc(from_edges([], n=0), k=5).size == 0
+
+    def test_deterministic_with_seed(self, und_random):
+        a = sampling_bc(und_random, k=5, seed=9)
+        b = sampling_bc(und_random, k=5, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAccumulationModes:
+    @pytest.mark.parametrize("mode", ["arcs", "succs", "edge"])
+    def test_modes_agree(self, zoo_entry, mode):
+        _name, g, _nxg = zoo_entry
+        if g.n == 0:
+            return
+        ref = per_source_delta(g, 0, mode="arcs")
+        out = per_source_delta(g, 0, mode=mode)
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-10)
+
+    def test_unknown_mode(self, und_random):
+        res = bfs_sigma(und_random, 0)
+        with pytest.raises(AlgorithmError, match="unknown accumulation"):
+            accumulate_dependencies(und_random, res, mode="bogus")
+
+    def test_arcs_mode_needs_level_arcs(self, und_random):
+        res = bfs_sigma(und_random, 0)  # not kept
+        with pytest.raises(AlgorithmError, match="keep_level_arcs"):
+            accumulate_dependencies(und_random, res, mode="arcs")
+
+    def test_counters_ordered_by_traversal_cost(self, und_random):
+        """succs re-examines more arcs than stored preds; edge mode
+        scans everything every level."""
+        counts = {}
+        for mode in ("arcs", "succs", "edge"):
+            counter = WorkCounter()
+            run_per_source(
+                und_random, sources=[0, 1, 2], mode=mode, counter=counter
+            )
+            counts[mode] = counter.edges
+        assert counts["arcs"] <= counts["succs"] <= counts["edge"]
+
+    def test_sources_subset(self, und_random):
+        ref = np.zeros(und_random.n)
+        for s in (0, 3):
+            d = per_source_delta(und_random, s)
+            d[s] = 0
+            ref += d
+        out = run_per_source(und_random, sources=[0, 3])
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ALGORITHMS) == {
+            "serial",
+            "APGRE",
+            "preds",
+            "succs",
+            "lockSyncFree",
+            "async",
+            "hybrid",
+            "algebraic",
+            "treefold",
+        }
+
+    def test_get_algorithm(self):
+        assert get_algorithm("serial") is brandes_bc
+
+    def test_apgre_dispatch(self, und_random):
+        scores = get_algorithm("APGRE")(und_random)
+        np.testing.assert_allclose(
+            scores, brandes_bc(und_random), rtol=1e-9, atol=1e-8
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            get_algorithm("dijkstra")

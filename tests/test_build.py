@@ -1,0 +1,138 @@
+"""Unit tests for the graph builders and converters."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.build import (
+    empty_graph,
+    from_adjacency,
+    from_edges,
+    from_networkx,
+)
+from repro.graph.convert import (
+    from_scipy_sparse,
+    to_edge_array,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestFromEdges:
+    def test_basic_undirected(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert not g.directed
+        assert g.n == 3
+        assert g.num_undirected_edges == 2
+
+    def test_basic_directed(self):
+        g = from_edges([(0, 1), (1, 0)], directed=True)
+        assert g.directed
+        assert g.num_arcs == 2
+
+    def test_explicit_n_allows_isolated(self):
+        g = from_edges([(0, 1)], n=5)
+        assert g.n == 5
+        assert list(g.out_neighbors(4)) == []
+
+    def test_numpy_input(self):
+        arr = np.asarray([[0, 1], [1, 2]])
+        g = from_edges(arr)
+        assert g.n == 3
+
+    def test_empty_iterable(self):
+        g = from_edges([])
+        assert g.n == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphValidationError, match=r"\(m, 2\)"):
+            from_edges(np.zeros((3, 3)))
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        g = from_adjacency({0: [1, 2], 1: [2]})
+        assert g.n == 3
+        assert g.has_edge(2, 0)  # undirected
+
+    def test_directed(self):
+        g = from_adjacency({0: [1]}, directed=True)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_keyless_targets(self):
+        g = from_adjacency({0: [5]})
+        assert g.n == 6
+
+    def test_keys_beyond_targets_count(self):
+        g = from_adjacency({0: [1], 7: []})
+        assert g.n == 8
+
+    def test_empty(self):
+        assert from_adjacency({}).n == 0
+
+
+class TestNetworkxRoundTrip:
+    def test_roundtrip_undirected(self):
+        nxg = nx.gnm_random_graph(20, 35, seed=1)
+        g = from_networkx(nxg)
+        back = to_networkx(g)
+        assert set(back.edges()) == set(nxg.edges())
+        assert back.number_of_nodes() == 20
+
+    def test_roundtrip_directed(self):
+        nxg = nx.gnm_random_graph(15, 40, seed=2, directed=True)
+        g = from_networkx(nxg)
+        back = to_networkx(g)
+        assert set(back.edges()) == set(nxg.edges())
+        assert back.is_directed()
+
+    def test_isolated_nodes_preserved(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(4))
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.n == 4
+        assert to_networkx(g).number_of_nodes() == 4
+
+    def test_non_integer_labels_rejected(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(GraphValidationError, match="ints"):
+            from_networkx(nxg)
+
+    def test_empty_nx_graph(self):
+        assert from_networkx(nx.Graph()).n == 0
+
+
+class TestScipy:
+    def test_scipy_roundtrip_directed(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        mat = to_scipy_sparse(g)
+        assert mat.shape == (3, 3)
+        back = from_scipy_sparse(mat, directed=True)
+        assert back == g
+
+    def test_scipy_symmetric_for_undirected(self):
+        g = from_edges([(0, 1)])
+        mat = to_scipy_sparse(g).toarray()
+        assert (mat == mat.T).all()
+
+    def test_edge_array_undirected_unique(self):
+        g = from_edges([(0, 1), (1, 2)])
+        arr = to_edge_array(g)
+        assert arr.shape == (2, 2)
+        assert (arr[:, 0] <= arr[:, 1]).all()
+
+    def test_edge_array_directed_all_arcs(self):
+        g = from_edges([(0, 1), (1, 0)], directed=True)
+        assert to_edge_array(g).shape == (2, 2)
+
+
+class TestEmptyGraph:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.n == 4 and g.num_arcs == 0
+
+    def test_empty_directed(self):
+        assert empty_graph(2, directed=True).directed

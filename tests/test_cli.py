@@ -1,0 +1,197 @@
+"""Tests for the repro-bc command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators.structured import paper_example_graph
+from repro.graph.build import from_edges
+from repro.io import write_edgelist
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = from_edges([(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)])
+    path = tmp_path / "g.txt"
+    write_edgelist(g, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro-bc" in capsys.readouterr().out
+
+    def test_compute_defaults(self):
+        args = build_parser().parse_args(["compute", "g.txt"])
+        assert args.algorithm == "APGRE"
+        assert args.top == 10
+        assert not args.directed
+
+
+class TestCompute:
+    def test_compute_apgre(self, graph_file, capsys):
+        assert main(["compute", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "APGRE BC" in out
+        assert "vertex" in out
+
+    def test_compute_serial_matches(self, graph_file, capsys):
+        main(["compute", graph_file, "--algorithm", "serial", "--top", "2"])
+        out = capsys.readouterr().out
+        # vertices 1 and 3 are the most central in the fixture graph
+        body = [l.split() for l in out.splitlines()[2:]]
+        top_vertices = {int(row[0]) for row in body}
+        assert top_vertices == {1, 3}
+
+    def test_compute_directed_flag(self, tmp_path, capsys):
+        g = paper_example_graph()
+        path = tmp_path / "pe.txt"
+        write_edgelist(g, path)
+        assert main(["compute", str(path), "--directed"]) == 0
+
+
+class TestPartition:
+    def test_partition_output(self, graph_file, capsys):
+        assert main(["partition", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "#SG=" in out
+        assert "V/G.V" in out
+
+    def test_partition_threshold(self, graph_file, capsys):
+        assert main(["partition", graph_file, "--threshold", "0"]) == 0
+        assert "threshold=0" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig10" in out
+
+    def test_run_one_experiment(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_GRAPHS", raising=False)
+        code = main(
+            [
+                "bench",
+                "table1",
+                "--scale",
+                "0.25",
+                "--graphs",
+                "USA-roadBAY",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "USA-roadBAY" in out
+
+
+class TestSuite:
+    def test_suite_listing(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        monkeypatch.setenv("REPRO_GRAPHS", "Email-Enron")
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Email-Enron" in out
+        assert "scale=0.25" in out
+
+
+class TestInfo:
+    def test_info_output(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "articulation points" in out
+        assert "directed             : no" in out
+
+    def test_info_directed(self, tmp_path, capsys):
+        g = paper_example_graph()
+        path = tmp_path / "pe.txt"
+        write_edgelist(g, path)
+        assert main(["info", str(path), "--directed"]) == 0
+        out = capsys.readouterr().out
+        assert "directed             : yes" in out
+        assert "articulation points  : 3" in out
+        assert "pendant vertices     : 2" in out
+
+
+class TestConvert:
+    def test_text_to_text(self, graph_file, tmp_path, capsys):
+        target = tmp_path / "g.gr"
+        assert main(["convert", graph_file, str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.io import load_graph, read_dimacs
+
+        assert read_dimacs(target, directed=False) == load_graph(
+            graph_file, directed=False
+        )
+
+    def test_text_to_npz_roundtrip(self, graph_file, tmp_path, capsys):
+        npz = tmp_path / "g.npz"
+        assert main(["convert", graph_file, str(npz)]) == 0
+        back = tmp_path / "back.txt"
+        assert main(["convert", str(npz), str(back)]) == 0
+        from repro.io import load_graph
+
+        assert load_graph(back, directed=False) == load_graph(
+            graph_file, directed=False
+        )
+
+    def test_explicit_format(self, graph_file, tmp_path):
+        target = tmp_path / "odd_name"
+        assert main(
+            ["convert", graph_file, str(target), "--to", "matrixmarket"]
+        ) == 0
+        from repro.io import read_matrix_market
+
+        assert read_matrix_market(target).n > 0
+
+
+class TestCompare:
+    def test_compare_exact_algorithms(self, graph_file, capsys):
+        assert main(["compare", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "APGRE vs serial" in out
+        assert "exact match      : yes" in out
+
+    def test_compare_custom_pair(self, graph_file, capsys):
+        code = main(
+            ["compare", graph_file, "--reference", "serial",
+             "--candidate", "treefold"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "treefold vs serial" in out
+        assert "exact match      : yes" in out
+
+
+class TestBenchSave:
+    def test_save_results_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_GRAPHS", raising=False)
+        out_file = tmp_path / "run.json"
+        code = main(
+            ["bench", "table1", "--scale", "0.25",
+             "--graphs", "USA-roadBAY", "--save", str(out_file)]
+        )
+        assert code == 0
+        from repro.bench.persistence import load_results
+
+        loaded = load_results(out_file)
+        assert loaded[0].exp_id == "Table 1"
+        assert "saved 1 experiment" in capsys.readouterr().out
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert "[ok]" in out

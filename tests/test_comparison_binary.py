@@ -1,0 +1,161 @@
+"""Tests for score comparison metrics and binary graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError, GraphFormatError
+from repro.generators import analogue_graph, cycle_graph
+from repro.graph.build import from_edges
+from repro.io.binary import load_npz, save_npz
+from repro.metrics.comparison import (
+    compare_scores,
+    kendall_tau,
+    top_k_overlap,
+)
+
+
+class TestTopKOverlap:
+    def test_identical(self):
+        a = np.asarray([5.0, 3.0, 1.0, 0.0])
+        assert top_k_overlap(a, a, 2) == 1.0
+
+    def test_disjoint(self):
+        a = np.asarray([9.0, 8.0, 0.0, 0.0])
+        b = np.asarray([0.0, 0.0, 8.0, 9.0])
+        assert top_k_overlap(a, b, 2) == 0.0
+
+    def test_partial(self):
+        a = np.asarray([9.0, 8.0, 1.0, 0.0])
+        b = np.asarray([9.0, 0.0, 8.0, 0.0])
+        # top-2 sets {0,1} vs {0,2}: Jaccard 1/3
+        assert top_k_overlap(a, b, 2) == pytest.approx(1 / 3)
+
+    def test_k_clamped(self):
+        a = np.asarray([1.0, 2.0])
+        assert top_k_overlap(a, a, 100) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(BenchmarkError, match="positive"):
+            top_k_overlap(np.ones(3), np.ones(3), 0)
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        a = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(a, a * 10) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        a = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(a, -a) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(BenchmarkError, match="equal length"):
+            kendall_tau(np.ones(3), np.ones(4))
+
+    def test_tiny(self):
+        assert kendall_tau(np.ones(1), np.ones(1)) == 1.0
+
+
+class TestCompareScores:
+    def test_identical_scores(self):
+        a = np.asarray([3.0, 1.0, 0.0, 7.0])
+        cmp = compare_scores(a, a)
+        assert cmp.exact_match
+        assert cmp.pearson == pytest.approx(1.0)
+        assert cmp.kendall == pytest.approx(1.0)
+        assert cmp.top10_overlap == 1.0
+
+    def test_scaled_scores_rank_preserved(self):
+        a = np.asarray([3.0, 1.0, 0.5, 7.0])
+        cmp = compare_scores(a, 2 * a)
+        assert not cmp.exact_match
+        assert cmp.kendall == pytest.approx(1.0)
+        assert cmp.max_rel_diff == pytest.approx(1.0)
+
+    def test_constant_reference(self):
+        a = np.zeros(5)
+        cmp = compare_scores(a, a)
+        assert cmp.pearson == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(BenchmarkError, match="shape"):
+            compare_scores(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        cmp = compare_scores(np.zeros(0), np.zeros(0))
+        assert cmp.exact_match
+
+    def test_sampling_quality_end_to_end(self):
+        from repro.baselines import brandes_bc, sampling_bc
+
+        g = analogue_graph("Email-Enron", scale=0.3)
+        exact = brandes_bc(g)
+        est = sampling_bc(g, k=max(g.n // 5, 1), seed=2)
+        cmp = compare_scores(exact, est)
+        assert cmp.pearson > 0.8
+        assert cmp.top10_overlap > 0.3
+
+
+class TestBinaryIO:
+    def test_roundtrip_undirected(self, tmp_path):
+        g = cycle_graph(9)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (3, 1)], directed=True)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded == g
+        assert loaded.directed
+        assert np.array_equal(loaded.in_indptr, g.in_indptr)
+
+    def test_roundtrip_suite_graph(self, tmp_path):
+        g = analogue_graph("WikiTalk", scale=0.3)
+        path = tmp_path / "wiki.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.asarray(1))
+        with pytest.raises(GraphFormatError, match="missing field"):
+            load_npz(path)
+
+    def test_bad_version(self, tmp_path):
+        g = cycle_graph(4)
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            version=np.asarray(99),
+            directed=np.asarray(False),
+            n=np.asarray(g.n),
+            out_indptr=g.out_indptr,
+            out_indices=g.out_indices,
+        )
+        with pytest.raises(GraphFormatError, match="version"):
+            load_npz(path)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            load_npz(path)
+
+    def test_tampered_arrays_rejected(self, tmp_path):
+        g = cycle_graph(4)
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            version=np.asarray(1),
+            directed=np.asarray(False),
+            n=np.asarray(4),
+            out_indptr=np.asarray([0, 2, 4, 6, 9]),  # inconsistent
+            out_indices=g.out_indices,
+        )
+        from repro.errors import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            load_npz(path)

@@ -1,0 +1,157 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import validate_graph
+
+
+class TestConstruction:
+    def test_from_arcs_directed_basic(self):
+        g = CSRGraph.from_arcs(3, [0, 1, 2], [1, 2, 0], directed=True)
+        assert g.n == 3
+        assert g.directed
+        assert g.num_arcs == 3
+        assert list(g.out_neighbors(0)) == [1]
+        assert list(g.in_neighbors(0)) == [2]
+
+    def test_from_arcs_undirected_symmetrises(self):
+        g = CSRGraph.from_arcs(3, [0, 1], [1, 2], directed=False)
+        assert g.num_arcs == 4  # both orientations stored
+        assert list(g.out_neighbors(1)) == [0, 2]
+        assert g.num_undirected_edges == 2
+
+    def test_undirected_either_orientation_dedupes(self):
+        g = CSRGraph.from_arcs(2, [0, 1], [1, 0], directed=False)
+        assert g.num_arcs == 2  # one edge
+
+    def test_directed_duplicate_arcs_removed(self):
+        g = CSRGraph.from_arcs(2, [0, 0, 0], [1, 1, 1], directed=True)
+        assert g.num_arcs == 1
+
+    def test_dedupe_disabled_keeps_parallel_arcs(self):
+        g = CSRGraph.from_arcs(
+            2, [0, 0], [1, 1], directed=True, dedupe=False
+        )
+        assert g.num_arcs == 2
+
+    def test_self_loops_dropped_by_default(self):
+        g = CSRGraph.from_arcs(2, [0, 0], [0, 1], directed=True)
+        assert g.num_arcs == 1
+
+    def test_self_loops_kept_on_request(self):
+        g = CSRGraph.from_arcs(
+            2, [0], [0], directed=True, drop_self_loops=False, dedupe=False
+        )
+        assert g.num_arcs == 1
+        assert list(g.out_neighbors(0)) == [0]
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphValidationError, match="out of range"):
+            CSRGraph.from_arcs(3, [0], [3], directed=True)
+        with pytest.raises(GraphValidationError, match="out of range"):
+            CSRGraph.from_arcs(3, [-1], [0], directed=True)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphValidationError, match="lengths differ"):
+            CSRGraph.from_arcs(3, [0, 1], [1], directed=True)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphValidationError, match=">= 0"):
+            CSRGraph.from_arcs(-1, [], [], directed=True)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_arcs(5, [], [], directed=False)
+        assert g.n == 5
+        assert g.num_arcs == 0
+        assert list(g.out_neighbors(3)) == []
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph.from_arcs(0, [], [], directed=True)
+        assert g.n == 0
+        assert len(g) == 0
+
+
+class TestAdjacency:
+    def test_rows_sorted(self):
+        g = CSRGraph.from_arcs(5, [0, 0, 0], [4, 2, 3], directed=True)
+        assert list(g.out_neighbors(0)) == [2, 3, 4]
+
+    def test_degrees(self):
+        g = CSRGraph.from_arcs(4, [0, 0, 1], [1, 2, 2], directed=True)
+        assert g.out_degrees().tolist() == [2, 1, 0, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2, 0]
+
+    def test_undirected_degrees_match(self):
+        g = CSRGraph.from_arcs(4, [0, 1, 2], [1, 2, 3], directed=False)
+        assert np.array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_has_edge(self):
+        g = CSRGraph.from_arcs(4, [0, 1], [1, 2], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(3, 0)
+
+    def test_has_edge_undirected_symmetric(self):
+        g = CSRGraph.from_arcs(3, [0], [1], directed=False)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_arcs_roundtrip(self):
+        g = CSRGraph.from_arcs(4, [0, 1, 2], [1, 2, 3], directed=True)
+        src, dst = g.arcs()
+        rebuilt = CSRGraph.from_arcs(4, src, dst, directed=True)
+        assert rebuilt == g
+
+    def test_iter_edges_directed(self):
+        g = CSRGraph.from_arcs(3, [0, 1], [1, 0], directed=True)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 0)]
+
+    def test_iter_edges_undirected_once(self):
+        g = CSRGraph.from_arcs(3, [0, 1], [1, 2], directed=False)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_arrays_are_readonly(self):
+        g = CSRGraph.from_arcs(3, [0], [1], directed=True)
+        with pytest.raises(ValueError):
+            g.out_indices[0] = 2
+        with pytest.raises(ValueError):
+            g.out_indptr[0] = 1
+
+
+class TestDunder:
+    def test_equality(self):
+        a = CSRGraph.from_arcs(3, [0, 1], [1, 2], directed=True)
+        b = CSRGraph.from_arcs(3, [1, 0], [2, 1], directed=True)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_direction(self):
+        a = CSRGraph.from_arcs(3, [0], [1], directed=True)
+        b = CSRGraph.from_arcs(3, [0], [1], directed=False)
+        assert a != b
+
+    def test_inequality_other_type(self):
+        a = CSRGraph.from_arcs(3, [0], [1], directed=True)
+        assert a != "graph"
+
+    def test_repr(self):
+        g = CSRGraph.from_arcs(3, [0], [1], directed=False)
+        assert "undirected" in repr(g)
+        assert "n=3" in repr(g)
+
+    def test_len(self):
+        assert len(CSRGraph.from_arcs(7, [], [], directed=True)) == 7
+
+
+class TestValidation:
+    def test_zoo_graphs_valid(self, zoo_entry):
+        _name, g, _nxg = zoo_entry
+        validate_graph(g)
+
+    def test_num_edges_alias(self):
+        g = CSRGraph.from_arcs(3, [0, 1], [1, 2], directed=False)
+        assert g.num_edges == g.num_arcs == 4
+        assert g.num_vertices == 3

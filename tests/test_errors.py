@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy and package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AlgorithmError,
+    BenchmarkError,
+    GraphFormatError,
+    GraphValidationError,
+    PartitionError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    for exc in (
+        GraphFormatError,
+        GraphValidationError,
+        PartitionError,
+        AlgorithmError,
+        BenchmarkError,
+    ):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise GraphFormatError("boom")
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_docstring():
+    from repro import apgre_bc, from_edges
+
+    g = from_edges([(0, 1), (1, 2), (2, 3), (1, 3)], directed=False)
+    scores = apgre_bc(g)
+    assert scores.shape == (4,)
+    assert scores[1] > 0
+
+
+def test_run_selftest_api():
+    from repro.selftest import run_selftest
+
+    report = run_selftest()
+    assert len(report.checks) >= 6
+    assert "self-test" in str(report)

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are run in-process (importing their ``main``) with a scaled-
+down workload where the script supports one, so this stays fast while
+still executing every code path a user would.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *argv):
+    """Execute an example script as __main__ with patched argv."""
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "APGRE == Brandes: True" in out
+    assert "removed pendant sources" in out
+
+
+def test_compare_algorithms(capsys):
+    run_example("compare_algorithms.py", "Email-EuAll", "0.25")
+    out = capsys.readouterr().out
+    assert "exact" in out
+    assert "MISMATCH" not in out
+    assert "skipped" in out  # async on a directed graph
+
+
+def test_compare_algorithms_unknown_graph(capsys):
+    with pytest.raises(SystemExit):
+        run_example("compare_algorithms.py", "NoSuchGraph")
+
+
+def test_road_network(capsys):
+    run_example("road_network.py")
+    out = capsys.readouterr().out
+    assert "DIMACS round-trip ok" in out
+    assert "speedup" in out
+    assert "critical intersections" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python"), script.name
+        assert '"""' in text, script.name
+
+
+@pytest.mark.slow
+def test_community_detection(capsys):
+    run_example("community_detection.py")
+    out = capsys.readouterr().out
+    assert "recovered communities" in out
+
+
+@pytest.mark.slow
+def test_power_grid(capsys):
+    run_example("power_grid_contingency.py")
+    out = capsys.readouterr().out
+    assert "contingency screen" in out

@@ -1,0 +1,249 @@
+"""Tests for the extension algorithms (edge BC, weighted BC, adaptive
+sampling) and the score-convention utilities."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    adaptive_bc,
+    brandes_bc,
+    edge_betweenness_bc,
+    undirected_edge_scores,
+    weighted_brandes_bc,
+)
+from repro.core.result import normalize_scores, to_networkx_convention
+from repro.errors import AlgorithmError, GraphValidationError
+from repro.graph.build import from_edges, from_networkx
+
+from tests.conftest import nx_betweenness
+
+
+class TestEdgeBC:
+    def test_matches_networkx_undirected(self):
+        for seed in range(4):
+            nxg = nx.gnm_random_graph(22, 40, seed=seed)
+            g = from_networkx(nxg, n=22)
+            scores = edge_betweenness_bc(g)
+            collapsed = undirected_edge_scores(g, scores)
+            expected = nx.edge_betweenness_centrality(nxg, normalized=False)
+            for (u, v), val in expected.items():
+                key = (min(u, v), max(u, v))
+                # ordered-pair convention: 2x networkx
+                assert np.isclose(collapsed[key], 2 * val), (seed, key)
+
+    def test_matches_networkx_directed(self):
+        nxg = nx.gnm_random_graph(18, 45, seed=7, directed=True)
+        g = from_networkx(nxg, n=18)
+        scores = edge_betweenness_bc(g)
+        src, dst = g.arcs()
+        expected = nx.edge_betweenness_centrality(nxg, normalized=False)
+        for u, v, val in zip(src.tolist(), dst.tolist(), scores.tolist()):
+            assert np.isclose(val, expected[(u, v)]), (u, v)
+
+    def test_path_graph_closed_form(self):
+        # directed path 0->1->2->3: edge (1,2) lies on paths
+        # 0-2, 0-3, 1-2, 1-3
+        g = from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        scores = edge_betweenness_bc(g)
+        src, dst = g.arcs()
+        lookup = dict(zip(zip(src.tolist(), dst.tolist()), scores.tolist()))
+        assert lookup[(0, 1)] == 3  # 0->{1,2,3}
+        assert lookup[(1, 2)] == 4
+        assert lookup[(2, 3)] == 3
+
+    def test_vertex_bc_recoverable_from_edges(self):
+        # δ_s(v) = Σ_out-DAG-arcs(v) contribution, so vertex BC equals
+        # the sum of outgoing arc scores minus paths *starting* at v...
+        # cheaper identity: total edge score mass == Σ_pairs hops
+        nxg = nx.gnm_random_graph(16, 30, seed=3)
+        g = from_networkx(nxg, n=16)
+        scores = edge_betweenness_bc(g)
+        expected = 0
+        for s in range(16):
+            lengths = nx.single_source_shortest_path_length(nxg, s)
+            expected += sum(d for t, d in lengths.items() if t != s)
+        assert np.isclose(scores.sum(), expected)
+
+    def test_empty_graph(self):
+        g = from_edges([], n=3)
+        assert edge_betweenness_bc(g).size == 0
+
+
+class TestWeightedBC:
+    def test_unit_weights_match_unweighted(self, zoo_entry):
+        name, g, _nxg = zoo_entry
+        if g.n > 30:
+            return  # Dijkstra loop is pure Python; keep it small
+        np.testing.assert_allclose(
+            weighted_brandes_bc(g),
+            brandes_bc(g),
+            rtol=1e-9,
+            atol=1e-8,
+            err_msg=name,
+        )
+
+    def test_matches_networkx_weighted(self):
+        rng = np.random.default_rng(5)
+        nxg = nx.gnm_random_graph(18, 40, seed=5)
+        for u, v in nxg.edges():
+            nxg[u][v]["weight"] = float(rng.integers(1, 6))
+        g = from_networkx(nxg, n=18)
+        src, dst = g.arcs()
+        weights = np.asarray(
+            [nxg[int(u)][int(v)]["weight"] for u, v in zip(src, dst)]
+        )
+        scores = weighted_brandes_bc(g, weights)
+        expected = nx_betweenness_weighted(nxg)
+        np.testing.assert_allclose(scores, expected, rtol=1e-9, atol=1e-8)
+
+    def test_weights_change_routing(self):
+        # square 0-1-2-3-0: heavy edge (0,1) pushes all 0<->2 traffic
+        # through 3
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        src, dst = g.arcs()
+        weights = np.ones(g.num_arcs)
+        heavy = ((src == 0) & (dst == 1)) | ((src == 1) & (dst == 0))
+        weights[heavy] = 10.0
+        scores = weighted_brandes_bc(g, weights)
+        assert scores[3] > scores[1]
+
+    def test_rejects_nonpositive_weights(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(AlgorithmError, match="positive"):
+            weighted_brandes_bc(g, np.asarray([0.0, 1.0]))
+
+    def test_rejects_wrong_shape(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(GraphValidationError, match="per arc"):
+            weighted_brandes_bc(g, np.ones(5))
+
+
+def nx_betweenness_weighted(nxg):
+    raw = nx.betweenness_centrality(nxg, normalized=False, weight="weight")
+    out = np.zeros(nxg.number_of_nodes())
+    for v, s in raw.items():
+        out[v] = s
+    if not nxg.is_directed():
+        out *= 2
+    return out
+
+
+class TestAdaptive:
+    def test_converges_fast_on_central_vertex(self):
+        # star hub: every pivot contributes ~n-2 dependency, so the
+        # c·n cutoff fires after a handful of samples
+        g = from_edges([(0, i) for i in range(1, 40)])
+        est = adaptive_bc(g, 0, c=2.0, seed=1)
+        assert est.converged
+        assert est.samples < 20
+        exact = brandes_bc(g)[0]
+        assert abs(est.estimate - exact) / exact < 0.5
+
+    def test_exhausts_on_peripheral_vertex(self):
+        g = from_edges([(0, i) for i in range(1, 15)])
+        est = adaptive_bc(g, 3, c=2.0, seed=1)  # a leaf: BC = 0
+        assert not est.converged
+        assert est.samples == g.n
+        assert est.estimate == 0.0
+
+    def test_budget_cap(self):
+        g = from_edges([(i, i + 1) for i in range(30)])
+        est = adaptive_bc(g, 1, c=100.0, max_fraction=0.2, seed=2)
+        assert est.samples <= int(np.ceil(0.2 * g.n))
+
+    def test_validation(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(AlgorithmError, match="outside"):
+            adaptive_bc(g, 5)
+        with pytest.raises(AlgorithmError, match="c must be"):
+            adaptive_bc(g, 0, c=0)
+        with pytest.raises(AlgorithmError, match="max_fraction"):
+            adaptive_bc(g, 0, max_fraction=0.0)
+
+
+class TestConventions:
+    def test_normalize_range(self, zoo_entry):
+        _name, g, _nxg = zoo_entry
+        if g.n < 3:
+            return
+        norm = normalize_scores(brandes_bc(g))
+        assert (norm >= -1e-12).all()
+        assert (norm <= 1.0 + 1e-12).all()
+
+    def test_normalize_matches_networkx(self):
+        nxg = nx.gnm_random_graph(20, 40, seed=9)
+        g = from_networkx(nxg, n=20)
+        norm = normalize_scores(brandes_bc(g))
+        expected = nx.betweenness_centrality(nxg, normalized=True)
+        for v, val in expected.items():
+            assert np.isclose(norm[v], val)
+
+    def test_networkx_convention(self):
+        g = from_edges([(0, 1), (1, 2)])
+        raw = brandes_bc(g)
+        halved = to_networkx_convention(raw, directed=False)
+        np.testing.assert_allclose(halved, raw / 2)
+        gd = from_edges([(0, 1), (1, 2)], directed=True)
+        raw_d = brandes_bc(gd)
+        np.testing.assert_allclose(
+            to_networkx_convention(raw_d, directed=True), raw_d
+        )
+
+    def test_normalize_tiny(self):
+        assert normalize_scores(np.zeros(2)).tolist() == [0, 0]
+
+
+class TestAlgebraic:
+    """The CombBLAS-style batched baseline (paper related-work [23])."""
+
+    def test_matches_brandes_on_zoo(self, zoo_entry):
+        from repro.baselines import algebraic_bc
+
+        name, g, _nxg = zoo_entry
+        np.testing.assert_allclose(
+            algebraic_bc(g, batch=8),
+            brandes_bc(g),
+            rtol=1e-7,
+            atol=1e-7,
+            err_msg=name,
+        )
+
+    def test_batch_size_invariance(self, und_random):
+        from repro.baselines import algebraic_bc
+
+        ref = algebraic_bc(und_random, batch=und_random.n)
+        for batch in (1, 3, 7, 64):
+            np.testing.assert_allclose(
+                algebraic_bc(und_random, batch=batch), ref, rtol=1e-9
+            )
+
+    def test_invalid_batch(self, und_random):
+        from repro.baselines import algebraic_bc
+
+        with pytest.raises(AlgorithmError, match="batch"):
+            algebraic_bc(und_random, batch=0)
+
+    def test_empty_graph(self):
+        from repro.baselines import algebraic_bc
+
+        assert algebraic_bc(from_edges([], n=0)).size == 0
+        assert algebraic_bc(from_edges([], n=4)).tolist() == [0, 0, 0, 0]
+
+    def test_counter_counts_per_level_sweeps(self):
+        from repro.baselines import algebraic_bc
+        from repro.baselines.common import WorkCounter
+
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        counter = WorkCounter()
+        algebraic_bc(g, batch=3, counter=counter)
+        # forward + backward sweeps each touch all nnz per level
+        assert counter.edges > 0
+        assert counter.edges % g.num_arcs == 0
+
+    def test_registered(self):
+        from repro.baselines import get_algorithm
+
+        fn = get_algorithm("algebraic")
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        np.testing.assert_allclose(fn(g), brandes_bc(g), rtol=1e-9)

@@ -1,0 +1,381 @@
+"""Tests for the random and structured graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError, GraphValidationError
+from repro.generators import (
+    SUITE_SPECS,
+    analogue_graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    block_tree_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    districted_road_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_road_graph,
+    paper_example_graph,
+    paper_suite,
+    path_graph,
+    pendant_augment,
+    powerlaw_cluster_graph,
+    rmat_graph,
+    star_graph,
+    suite_names,
+    watts_strogatz_graph,
+)
+from repro.generators.structured import lollipop_graph
+from repro.graph.ops import connected_components, degrees
+from repro.graph.validate import validate_graph
+
+
+class TestGnp:
+    def test_sizes_and_validity(self):
+        g = gnp_random_graph(50, 0.1, seed=1)
+        validate_graph(g)
+        assert g.n == 50
+
+    def test_p_zero_and_one(self):
+        assert gnp_random_graph(10, 0.0, seed=1).num_arcs == 0
+        g = gnp_random_graph(10, 1.0, seed=1)
+        assert g.num_undirected_edges == 45
+        g = gnp_random_graph(6, 1.0, directed=True, seed=1)
+        assert g.num_arcs == 30
+
+    def test_determinism(self):
+        a = gnp_random_graph(30, 0.2, seed=7)
+        b = gnp_random_graph(30, 0.2, seed=7)
+        assert a == b
+
+    def test_expected_density(self):
+        g = gnp_random_graph(200, 0.05, seed=3)
+        expected = 0.05 * 200 * 199 / 2
+        assert abs(g.num_undirected_edges - expected) < 0.25 * expected
+
+    def test_bad_p(self):
+        with pytest.raises(GraphValidationError, match="p must be"):
+            gnp_random_graph(5, 1.5)
+
+    def test_empty(self):
+        assert gnp_random_graph(0, 0.5).n == 0
+
+    def test_directed_no_self_loops(self):
+        g = gnp_random_graph(20, 0.3, directed=True, seed=2)
+        src, dst = g.arcs()
+        assert (src != dst).all()
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        for m in (0, 1, 17, 100):
+            g = gnm_random_graph(30, m, seed=1)
+            assert g.num_undirected_edges == m
+            validate_graph(g)
+
+    def test_directed_exact(self):
+        g = gnm_random_graph(20, 150, directed=True, seed=2)
+        assert g.num_arcs == 150
+
+    def test_m_capped_at_slots(self):
+        g = gnm_random_graph(5, 1000, seed=1)
+        assert g.num_undirected_edges == 10
+
+    def test_negative_m(self):
+        with pytest.raises(GraphValidationError, match=">= 0"):
+            gnm_random_graph(5, -1)
+
+    def test_determinism(self):
+        assert gnm_random_graph(25, 40, seed=3) == gnm_random_graph(
+            25, 40, seed=3
+        )
+
+
+class TestPowerlaw:
+    def test_ba_edge_count(self):
+        g = barabasi_albert_graph(100, 3, seed=1)
+        validate_graph(g)
+        # m seed-star edges + 3 per newcomer
+        assert g.num_undirected_edges == 3 + 3 * (100 - 4)
+
+    def test_ba_connected(self):
+        g = barabasi_albert_graph(80, 2, seed=2)
+        _labels, k = connected_components(g)
+        assert k == 1
+
+    def test_ba_skewed_degrees(self):
+        g = barabasi_albert_graph(300, 2, seed=3)
+        deg = degrees(g)
+        assert deg.max() > 5 * np.median(deg)
+
+    def test_ba_directed(self):
+        g = barabasi_albert_graph(50, 2, directed=True, seed=4)
+        assert g.directed
+        validate_graph(g)
+
+    def test_ba_bad_m(self):
+        with pytest.raises(GraphValidationError, match="1 <= m < n"):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(GraphValidationError, match="1 <= m < n"):
+            barabasi_albert_graph(5, 5)
+
+    def test_holme_kim_valid(self):
+        g = powerlaw_cluster_graph(80, 3, 0.6, seed=5)
+        validate_graph(g)
+        _labels, k = connected_components(g)
+        assert k == 1
+
+    def test_holme_kim_bad_p(self):
+        with pytest.raises(GraphValidationError, match="triangle_p"):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat_graph(8, 4, seed=1)
+        validate_graph(g)
+        assert g.n == 256
+        assert 0 < g.num_arcs <= 256 * 4
+
+    def test_skew(self):
+        g = rmat_graph(9, 8, seed=2)
+        deg = g.out_degrees() + g.in_degrees()
+        assert deg.max() > 4 * max(np.median(deg), 1)
+
+    def test_determinism(self):
+        assert rmat_graph(6, 4, seed=3) == rmat_graph(6, 4, seed=3)
+
+    def test_bad_probs(self):
+        with pytest.raises(GraphValidationError, match="probabilities"):
+            rmat_graph(4, 2, a=0.9, b=0.2, c=0.2)
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphValidationError, match="scale"):
+            rmat_graph(-1)
+
+
+class TestSmallWorld:
+    def test_basic(self):
+        g = watts_strogatz_graph(40, 4, 0.1, seed=1)
+        validate_graph(g)
+        assert g.n == 40
+
+    def test_no_rewiring_is_lattice(self):
+        g = watts_strogatz_graph(10, 4, 0.0, seed=1)
+        assert g.num_undirected_edges == 20
+        assert (degrees(g) == 4).all()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphValidationError, match="even"):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_k_too_large(self):
+        with pytest.raises(GraphValidationError, match="n > k"):
+            watts_strogatz_graph(4, 4, 0.1)
+
+    def test_bad_p(self):
+        with pytest.raises(GraphValidationError, match="p must be"):
+            watts_strogatz_graph(10, 2, -0.5)
+
+
+class TestRoad:
+    def test_grid_sizes(self):
+        g = grid_road_graph(10, 10, dead_end_frac=0.0, keep_prob=1.0, seed=1)
+        assert g.n == 100
+        assert g.num_undirected_edges == 180  # 2*10*9
+
+    def test_dead_ends_add_pendants(self):
+        g = grid_road_graph(8, 8, dead_end_frac=0.25, seed=2)
+        assert g.n == 64 + 16
+        assert int((degrees(g) == 1).sum()) >= 14
+
+    def test_bad_args(self):
+        with pytest.raises(GraphValidationError):
+            grid_road_graph(0, 5)
+        with pytest.raises(GraphValidationError, match="keep_prob"):
+            grid_road_graph(3, 3, keep_prob=2.0)
+
+    def test_districted(self):
+        g = districted_road_graph(3, 8, 8, seed=3)
+        validate_graph(g)
+        _labels, k = connected_components(g)
+        # bridges keep the chain connected (dead-ends may detach only
+        # if a district fragment exists; allow a couple of fragments)
+        assert k <= 4
+
+    def test_districted_needs_one(self):
+        with pytest.raises(GraphValidationError, match="at least one"):
+            districted_road_graph(0, 4, 4)
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_undirected_edges == 4
+        assert degrees(g).tolist() == [1, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert (degrees(g) == 2).all()
+        with pytest.raises(GraphValidationError, match="n >= 3"):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert degrees(g).tolist() == [7] + [1] * 7
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_undirected_edges == 15
+        gd = complete_graph(4, directed=True)
+        assert gd.num_arcs == 12
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        validate_graph(g)
+        assert g.n == 4 + 4 + 2
+        _labels, k = connected_components(g)
+        assert k == 1
+        with pytest.raises(GraphValidationError):
+            barbell_graph(2, 1)
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 3)
+        assert g.n == 8
+        assert int((degrees(g) == 1).sum()) == 1
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 3)
+        assert g.n == 4 + 12
+        assert int((degrees(g) == 1).sum()) >= 12
+        with pytest.raises(GraphValidationError):
+            caterpillar_graph(0, 1)
+
+    def test_block_tree(self):
+        g = block_tree_graph(2, 2, 4, seed=1)
+        validate_graph(g)
+        _labels, k = connected_components(g)
+        assert k == 1
+        with pytest.raises(GraphValidationError, match="clique_size"):
+            block_tree_graph(1, 1, 2)
+
+    def test_pendant_augment_undirected(self):
+        base = cycle_graph(5)
+        g = pendant_augment(base, 4, seed=1)
+        assert g.n == 9
+        assert int((degrees(g) == 1).sum()) == 4
+
+    def test_pendant_augment_directed(self):
+        base = cycle_graph(5, directed=True)
+        g = pendant_augment(base, 3, seed=2)
+        pend = (g.in_degrees() == 0) & (g.out_degrees() == 1)
+        assert int(pend.sum()) == 3
+
+    def test_pendant_augment_anchors(self):
+        base = cycle_graph(4)
+        g = pendant_augment(base, 2, anchors=np.asarray([0, 0]))
+        assert degrees(g)[0] == 4
+
+    def test_pendant_augment_anchor_mismatch(self):
+        with pytest.raises(GraphValidationError, match="anchors"):
+            pendant_augment(cycle_graph(4), 2, anchors=np.asarray([0]))
+
+    def test_paper_example_structure(self):
+        from repro.decompose import articulation_points
+
+        g = paper_example_graph()
+        assert g.n == 13 and g.directed
+        assert articulation_points(g).tolist() == [2, 3, 6]
+        # pendant sources 0 and 1 into vertex 2 (γ(2) = 2)
+        assert (g.in_degrees()[[0, 1]] == 0).all()
+        assert (g.out_degrees()[[0, 1]] == 1).all()
+
+
+class TestSuite:
+    def test_all_names_build_and_match_spec(self):
+        for name in suite_names():
+            g = analogue_graph(name, scale=0.3)
+            validate_graph(g)
+            assert g.directed == SUITE_SPECS[name].directed, name
+            assert g.n > 20, name
+
+    def test_determinism(self):
+        a = analogue_graph("WikiTalk", scale=0.5)
+        b = analogue_graph("WikiTalk", scale=0.5)
+        assert a == b
+
+    def test_scale_changes_size(self):
+        small = analogue_graph("web-Google", scale=0.3)
+        big = analogue_graph("web-Google", scale=0.8)
+        assert big.n > small.n
+
+    def test_unknown_name(self):
+        with pytest.raises(BenchmarkError, match="unknown suite graph"):
+            analogue_graph("nope")
+
+    def test_paper_suite_subset(self):
+        suite = paper_suite(scale=0.3, names=["Email-Enron", "USA-roadNY"])
+        assert list(suite) == ["Email-Enron", "USA-roadNY"]
+
+    def test_paper_suite_unknown(self):
+        with pytest.raises(BenchmarkError, match="unknown suite graphs"):
+            paper_suite(names=["bogus"])
+
+    def test_pendant_heavy_specs_have_pendants(self):
+        g = analogue_graph("Email-EuAll", scale=0.5)
+        pend = (g.in_degrees() == 0) & (g.out_degrees() == 1)
+        assert pend.sum() > 0.4 * g.n
+
+    def test_road_specs_are_narrow_degree(self):
+        g = analogue_graph("USA-roadNY", scale=0.5)
+        assert degrees(g).max() <= 12
+
+    def test_slashdot_has_no_directed_pendants(self):
+        g = analogue_graph("Slashdot0811", scale=0.5)
+        pend = (g.in_degrees() == 0) & (g.out_degrees() == 1)
+        # the paper: no total redundancy on Slashdot
+        assert pend.sum() <= 0.02 * g.n
+
+    def test_dblp_has_large_second_community(self):
+        from repro.decompose import graph_partition
+
+        g = analogue_graph("dblp-2010", scale=0.5)
+        partition = graph_partition(g)
+        sizes = sorted(
+            (sg.num_vertices for sg in partition.subgraphs), reverse=True
+        )
+        assert sizes[1] > 0.1 * g.n
+
+
+class TestDiseaseAnalogue:
+    """The paper's Figure-2 motivation graph (Human Disease Network)."""
+
+    def test_size_matches_figure2(self):
+        from repro.generators import disease_network_analogue
+
+        g = disease_network_analogue()
+        # paper: 1419 vertices, 3926 edges — analogue within ~10%
+        assert abs(g.n - 1419) / 1419 < 0.10
+        assert abs(g.num_undirected_edges - 3926) / 3926 < 0.10
+
+    def test_pendant_rich(self):
+        from repro.generators import disease_network_analogue
+
+        g = disease_network_analogue()
+        leaf_frac = float((degrees(g) == 1).mean())
+        assert leaf_frac > 0.25  # "a large number of vertices with a
+        # single edge" (paper §2.2)
+
+    def test_many_articulation_points(self):
+        from repro.decompose import articulation_points
+        from repro.generators import disease_network_analogue
+
+        g = disease_network_analogue()
+        assert articulation_points(g).size > 50
+
+    def test_deterministic(self):
+        from repro.generators import disease_network_analogue
+
+        assert disease_network_analogue() == disease_network_analogue()

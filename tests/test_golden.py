@@ -1,0 +1,128 @@
+"""Golden-value regression tests.
+
+Exact BC scores for small canonical graphs, computed once with the
+pure-Python exact-``Fraction`` Brandes and frozen here as literals.
+Unlike the networkx-oracle tests these cannot drift with a dependency
+upgrade, and they pin the *convention* (unnormalised, ordered pairs)
+byte-for-byte. Every exact algorithm in the package must reproduce
+each value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    algebraic_bc,
+    async_bc,
+    brandes_bc,
+    hybrid_bc,
+    lockfree_bc,
+    preds_bc,
+    succs_bc,
+    weighted_brandes_bc,
+)
+from repro.core.apgre import apgre_bc
+from repro.core.treefold import treefold_bc
+from repro.core.weighted_apgre import weighted_apgre_bc
+from repro.generators import paper_example_graph
+from repro.graph.build import from_edges
+
+# graph-name -> (edges, directed, expected scores)
+GOLDEN = {
+    # path 0-1-2-3-4: interior vertices split 2*(left*right) pairs
+    "path5": (
+        [(0, 1), (1, 2), (2, 3), (3, 4)],
+        False,
+        [0.0, 6.0, 8.0, 6.0, 0.0],
+    ),
+    # star: hub mediates all k(k-1) leaf pairs
+    "star4": (
+        [(0, 1), (0, 2), (0, 3), (0, 4)],
+        False,
+        [12.0, 0.0, 0.0, 0.0, 0.0],
+    ),
+    # cycle of 5: each vertex lies on one shortest path per opposite
+    # pair: BC = 2 ordered pairs each ... frozen from Fraction Brandes
+    "cycle5": (
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        False,
+        [2.0, 2.0, 2.0, 2.0, 2.0],
+    ),
+    # diamond with tail: 0-1, 0-2, 1-3, 2-3, 3-4
+    "diamond_tail": (
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+        False,
+        [1.0, 2.0, 2.0, 7.0, 0.0],
+    ),
+    # directed triangle with source pendant 3->0
+    "dir_triangle_pendant": (
+        [(0, 1), (1, 2), (2, 0), (3, 0)],
+        True,
+        [3.0, 2.0, 1.0, 0.0],
+    ),
+    # two triangles sharing articulation vertex 2
+    "bowtie": (
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+        False,
+        [0.0, 0.0, 8.0, 0.0, 0.0],
+    ),
+    # the paper's Figure-3 reconstruction (13 vertices, directed) —
+    # frozen from the exact-Fraction oracle
+    "paper_example": (
+        None,  # built by fixture
+        True,
+        [0.0, 0.0, 50.0, 48.0, 12.0, 24.0, 66.0, 21.0, 18.0, 15.0,
+         16.0, 0.0, 10.0],
+    ),
+}
+
+EXACT_ALGOS = {
+    "brandes": brandes_bc,
+    "apgre": apgre_bc,
+    "preds": preds_bc,
+    "succs": succs_bc,
+    "lockfree": lockfree_bc,
+    "hybrid": hybrid_bc,
+    "algebraic": algebraic_bc,
+}
+
+
+def build(name):
+    edges, directed, expected = GOLDEN[name]
+    if name == "paper_example":
+        return paper_example_graph(), np.asarray(expected)
+    return from_edges(edges, directed=directed), np.asarray(expected)
+
+
+@pytest.mark.parametrize("name", list(GOLDEN))
+@pytest.mark.parametrize("algo", list(EXACT_ALGOS))
+def test_golden_values(name, algo):
+    g, expected = build(name)
+    fn = EXACT_ALGOS[algo]
+    np.testing.assert_allclose(
+        fn(g), expected, rtol=1e-12, atol=1e-12,
+        err_msg=f"{algo} on {name}",
+    )
+
+
+@pytest.mark.parametrize("name", [n for n in GOLDEN if not GOLDEN[n][1]])
+def test_golden_undirected_extras(name):
+    """Undirected-only algorithms against the same frozen values."""
+    g, expected = build(name)
+    np.testing.assert_allclose(async_bc(g), expected, rtol=1e-12)
+    np.testing.assert_allclose(treefold_bc(g), expected, rtol=1e-12)
+    np.testing.assert_allclose(
+        weighted_brandes_bc(g), expected, rtol=1e-12
+    )
+    np.testing.assert_allclose(weighted_apgre_bc(g), expected, rtol=1e-12)
+
+
+def test_golden_values_came_from_exact_arithmetic():
+    """The frozen literals must equal the Fraction oracle's output."""
+    from repro.baselines import brandes_python_bc
+
+    for name in GOLDEN:
+        g, expected = build(name)
+        np.testing.assert_array_equal(
+            brandes_python_bc(g, exact=True), expected, err_msg=name
+        )

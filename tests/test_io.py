@@ -1,0 +1,249 @@
+"""Tests for the graph file formats (SNAP, DIMACS, MatrixMarket)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.io import (
+    load_graph,
+    read_dimacs,
+    read_edgelist,
+    read_matrix_market,
+    save_graph,
+    sniff_format,
+    write_dimacs,
+    write_edgelist,
+    write_matrix_market,
+)
+
+
+class TestEdgelist:
+    def test_read_basic(self):
+        text = io.StringIO("# comment\n0 1\n1 2\n")
+        g, ids = read_edgelist(text, directed=False)
+        assert g.n == 3 and g.num_undirected_edges == 2
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_densify_sparse_ids(self):
+        text = io.StringIO("100 200\n200 4000\n")
+        g, ids = read_edgelist(text, directed=True)
+        assert g.n == 3
+        assert ids.tolist() == [100, 200, 4000]
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_no_densify(self):
+        text = io.StringIO("0 1\n1 3\n")
+        g, ids = read_edgelist(text, directed=True, densify=False)
+        assert g.n == 4 and ids is None
+
+    def test_tabs_and_extra_fields(self):
+        text = io.StringIO("0\t1\t42\n1\t2\n")
+        g, _ = read_edgelist(text, directed=True)
+        assert g.num_arcs == 2
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_edgelist(io.StringIO("0 1\njunk\n"))
+
+    def test_non_integer(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edgelist(io.StringIO("a b\n"))
+
+    def test_negative_id(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_edgelist(io.StringIO("-1 0\n"))
+
+    def test_empty_file(self):
+        g, ids = read_edgelist(io.StringIO(""))
+        assert g.n == 0
+
+    def test_roundtrip(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, header="test graph")
+        g2, _ = read_edgelist(path, directed=True, densify=False)
+        assert g2 == g
+        content = path.read_text()
+        assert content.startswith("# repro edge list (directed)")
+        assert "# test graph" in content
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        g2, _ = read_edgelist(path, directed=False, densify=False)
+        assert g2 == g
+
+
+class TestDimacs:
+    GOOD = "c road net\np sp 4 3\na 1 2 5\na 2 3 1\na 3 4 2\n"
+
+    def test_read_basic(self):
+        g = read_dimacs(io.StringIO(self.GOOD), directed=True)
+        assert g.n == 4 and g.num_arcs == 3
+        assert g.has_edge(0, 1)
+
+    def test_read_undirected_collapses(self):
+        text = "p sp 2 2\na 1 2 1\na 2 1 1\n"
+        g = read_dimacs(io.StringIO(text), directed=False)
+        assert g.num_undirected_edges == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError, match="problem line"):
+            read_dimacs(io.StringIO("a 1 2 1\n"))
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            read_dimacs(io.StringIO("p sp 2 0\np sp 2 0\n"))
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(GraphFormatError, match="malformed problem"):
+            read_dimacs(io.StringIO("p xx 2 1\n"))
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="outside"):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 5 1\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2\n"))
+
+    def test_arc_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_dimacs(io.StringIO("p sp 2 5\na 1 2 1\n"))
+
+    def test_malformed_arc(self):
+        with pytest.raises(GraphFormatError, match="malformed arc"):
+            read_dimacs(io.StringIO("p sp 2 1\na 1\n"))
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path)
+        assert read_dimacs(path, directed=False) == g
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = from_edges([(0, 1), (2, 1)], directed=True)
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path)
+        assert read_dimacs(path, directed=True) == g
+
+
+class TestMatrixMarket:
+    GENERAL = (
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% a comment\n"
+        "3 3 2\n1 2\n2 3\n"
+    )
+    SYMMETRIC = (
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n2 1\n3 2\n"
+    )
+
+    def test_read_general_is_directed(self):
+        g = read_matrix_market(io.StringIO(self.GENERAL))
+        assert g.directed and g.num_arcs == 2
+
+    def test_read_symmetric_is_undirected(self):
+        g = read_matrix_market(io.StringIO(self.SYMMETRIC))
+        assert not g.directed and g.num_undirected_edges == 2
+
+    def test_bad_header(self):
+        with pytest.raises(GraphFormatError, match="header"):
+            read_matrix_market(io.StringIO("%%NotMM matrix x y z\n"))
+
+    def test_unsupported_field(self):
+        with pytest.raises(GraphFormatError, match="field type"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+                )
+            )
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(GraphFormatError, match="symmetry"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern hermitian\n1 1 0\n"
+                )
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(GraphFormatError, match="size line"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern general\n"
+                )
+            )
+
+    def test_entry_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern general\n"
+                    "2 2 5\n1 2\n"
+                )
+            )
+
+    def test_index_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="outside"):
+            read_matrix_market(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate pattern general\n"
+                    "2 2 1\n1 9\n"
+                )
+            )
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+
+class TestRegistry:
+    def test_sniff_by_extension(self, tmp_path):
+        for ext, fmt in [
+            (".txt", "edgelist"),
+            (".gr", "dimacs"),
+            (".mtx", "matrixmarket"),
+        ]:
+            p = tmp_path / f"g{ext}"
+            p.write_text("")
+            assert sniff_format(p) == fmt
+
+    def test_sniff_by_content(self, tmp_path):
+        p = tmp_path / "mystery"
+        p.write_text("%%MatrixMarket matrix coordinate pattern general\n1 1 0\n")
+        assert sniff_format(p) == "matrixmarket"
+        p.write_text("c comment\np sp 2 1\na 1 2 1\n")
+        assert sniff_format(p) == "dimacs"
+        p.write_text("# snap\n0 1\n")
+        assert sniff_format(p) == "edgelist"
+
+    def test_load_save_all_formats(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        for name in ("g.txt", "g.gr", "g.mtx"):
+            path = tmp_path / name
+            save_graph(g, path)
+            assert load_graph(path, directed=False) == g
+
+    def test_load_unknown_format(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="unknown graph format"):
+            load_graph(p, fmt="bogus")
+
+    def test_save_unknown_format(self, tmp_path):
+        g = from_edges([(0, 1)])
+        with pytest.raises(GraphFormatError, match="unknown graph format"):
+            save_graph(g, tmp_path / "g.txt", fmt="bogus")

@@ -1,0 +1,163 @@
+"""Tests for the parallel substrate (pools, scheduler, shared memory)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import (
+    available_workers,
+    fork_map,
+    get_worker_state,
+    map_sources_bc,
+    thread_map,
+)
+from repro.parallel.scheduler import assign_lpt, lpt_makespan, lpt_order
+from repro.parallel.sharedmem import SharedArray
+from repro.graph.traversal import bfs_sigma
+
+
+def _square(x):
+    return x * x
+
+
+def _state_lookup(key):
+    return get_worker_state()[key]
+
+
+class TestForkMap:
+    def test_inline_when_single_worker(self):
+        assert fork_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_results_ordered(self):
+        assert fork_map(_square, list(range(10)), workers=3) == [
+            i * i for i in range(10)
+        ]
+
+    def test_single_payload_runs_inline(self):
+        assert fork_map(_square, [7], workers=4) == [49]
+
+    def test_state_visible_in_workers(self):
+        out = fork_map(
+            _state_lookup, ["a", "a"], workers=2, state={"a": 42}
+        )
+        assert out == [42, 42]
+
+    def test_empty_payloads(self):
+        assert fork_map(_square, [], workers=2) == []
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestThreadMap:
+    def test_ordered(self):
+        assert thread_map(_square, list(range(8)), workers=3) == [
+            i * i for i in range(8)
+        ]
+
+    def test_inline_path(self):
+        assert thread_map(_square, [5], workers=8) == [25]
+
+
+class TestMapSourcesBC:
+    def test_matches_serial(self, und_random):
+        from repro.baselines.common import run_per_source
+
+        ref = run_per_source(und_random, mode="succs")
+        out = map_sources_bc(
+            und_random,
+            list(range(und_random.n)),
+            mode="succs",
+            forward=bfs_sigma,
+            workers=2,
+        )
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-10)
+
+    def test_empty_sources(self, und_random):
+        out = map_sources_bc(
+            und_random, [], mode="succs", forward=bfs_sigma, workers=2
+        )
+        assert (out == 0).all()
+
+
+class TestScheduler:
+    def test_lpt_order_descending(self):
+        assert lpt_order([3, 1, 4, 1, 5]) == [4, 2, 0, 1, 3]
+
+    def test_lpt_order_stable_ties(self):
+        assert lpt_order([2, 2, 2]) == [0, 1, 2]
+
+    def test_assign_all_tasks_once(self):
+        sizes = [5, 3, 8, 1, 9, 2]
+        bins = assign_lpt(sizes, 3)
+        flat = sorted(t for b in bins for t in b)
+        assert flat == list(range(6))
+
+    def test_assign_balances(self):
+        sizes = [4, 4, 4, 4]
+        bins = assign_lpt(sizes, 2)
+        loads = [sum(sizes[t] for t in b) for b in bins]
+        assert loads == [8, 8]
+
+    def test_assign_more_workers_than_tasks(self):
+        bins = assign_lpt([7], 4)
+        assert len(bins) == 4
+        assert sorted(t for b in bins for t in b) == [0]
+
+    def test_assign_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            assign_lpt([1], 0)
+
+    def test_makespan_bounds(self):
+        sizes = [5.0, 3.0, 3.0, 3.0]
+        for k in (1, 2, 3, 4):
+            ms = lpt_makespan(sizes, k)
+            assert ms >= max(sizes)  # critical path
+            assert ms >= sum(sizes) / k  # work bound
+        assert lpt_makespan(sizes, 1) == sum(sizes)
+
+    def test_makespan_empty(self):
+        assert lpt_makespan([], 3) == 0.0
+
+
+class TestSharedArray:
+    def test_create_and_mutate(self):
+        with SharedArray.create((10,), np.float64) as arr:
+            assert (arr.array == 0).all()
+            arr.array[3] = 7.5
+            assert arr.array[3] == 7.5
+
+    def test_attach_sees_owner_writes(self):
+        owner = SharedArray.create((5,), np.int64)
+        try:
+            owner.array[:] = [1, 2, 3, 4, 5]
+            view = SharedArray.attach(owner.name, (5,), np.int64)
+            assert view.array.tolist() == [1, 2, 3, 4, 5]
+            view.array[0] = 99
+            assert owner.array[0] == 99
+            view.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_cross_process_visibility(self):
+        owner = SharedArray.create((4,), np.float64)
+        try:
+            out = fork_map(
+                _shared_writer,
+                [0, 1, 2, 3],
+                workers=2,
+                state={"name": owner.name},
+            )
+            assert sorted(out) == [0, 1, 2, 3]
+            assert owner.array.tolist() == [0.0, 10.0, 20.0, 30.0]
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+def _shared_writer(i):
+    state = get_worker_state()
+    view = SharedArray.attach(state["name"], (4,), np.float64)
+    view.array[i] = 10.0 * i
+    view.close()
+    return i

@@ -1,0 +1,201 @@
+"""Unit tests for the vectorised traversal kernels."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph.build import from_edges, from_networkx
+from repro.graph.traversal import (
+    bfs,
+    bfs_blocked,
+    bfs_levels,
+    bfs_sigma,
+    bfs_sigma_hybrid,
+    expand_frontier,
+    reverse_bfs_blocked,
+)
+
+
+def nx_sigma(nxg, s):
+    """Shortest-path counts from s via networkx all-shortest-paths."""
+    n = nxg.number_of_nodes()
+    sigma = np.zeros(n)
+    sigma[s] = 1
+    lengths = nx.single_source_shortest_path_length(nxg, s)
+    for t in lengths:
+        if t != s:
+            sigma[t] = len(list(nx.all_shortest_paths(nxg, s, t)))
+    return sigma
+
+
+class TestExpandFrontier:
+    def test_expands_all_arcs(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2)], directed=True)
+        dst, src = expand_frontier(
+            g.out_indptr, g.out_indices, np.asarray([0, 1], dtype=np.int32)
+        )
+        assert sorted(zip(src.tolist(), dst.tolist())) == [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+        ]
+
+    def test_empty_frontier(self):
+        g = from_edges([(0, 1)], directed=True)
+        dst, src = expand_frontier(
+            g.out_indptr, g.out_indices, np.empty(0, dtype=np.int32)
+        )
+        assert dst.size == 0 and src.size == 0
+
+    def test_duplicates_preserved(self):
+        g = from_edges([(0, 2), (1, 2)], directed=True)
+        dst, _src = expand_frontier(
+            g.out_indptr, g.out_indices, np.asarray([0, 1], dtype=np.int32)
+        )
+        assert dst.tolist() == [2, 2]
+
+
+class TestBFS:
+    def test_distances_match_networkx(self, zoo_entry):
+        _name, g, nxg = zoo_entry
+        if g.n == 0:
+            return
+        for s in {0, g.n // 2, g.n - 1}:
+            dist = bfs(g, s)
+            lengths = nx.single_source_shortest_path_length(nxg, s)
+            for v in range(g.n):
+                assert dist[v] == lengths.get(v, -1)
+
+    def test_levels_partition_reachable(self, und_random):
+        res = bfs_sigma(und_random, 0)
+        seen = np.concatenate(res.levels)
+        assert np.unique(seen).size == seen.size
+        assert set(seen.tolist()) == set(
+            np.flatnonzero(res.dist >= 0).tolist()
+        )
+        for d, level in enumerate(res.levels):
+            assert (res.dist[level] == d).all()
+
+    def test_sigma_matches_networkx_small(self):
+        for seed, directed in [(1, False), (2, True), (3, True)]:
+            nxg = nx.gnm_random_graph(18, 40, seed=seed, directed=directed)
+            g = from_networkx(nxg, n=18)
+            res = bfs_sigma(g, 0)
+            assert np.allclose(res.sigma, nx_sigma(nxg, 0))
+
+    def test_unreachable_sigma_zero(self):
+        g = from_edges([(0, 1)], n=3, directed=True)
+        res = bfs_sigma(g, 0)
+        assert res.sigma[2] == 0 and res.dist[2] == -1
+
+    def test_single_vertex(self):
+        g = from_edges([], n=1)
+        res = bfs_sigma(g, 0)
+        assert res.dist.tolist() == [0]
+        assert res.depth == 0
+
+    def test_level_arcs_cover_dag(self, und_random):
+        res = bfs_sigma(und_random, 0, keep_level_arcs=True)
+        # every level-arc goes exactly one level down and the union is
+        # the full shortest-path DAG
+        dag_arcs = set()
+        for d, (src, dst) in enumerate(res.level_arcs):
+            assert (res.dist[src] == d).all()
+            assert (res.dist[dst] == d + 1).all()
+            dag_arcs.update(zip(src.tolist(), dst.tolist()))
+        expected = set()
+        gsrc, gdst = und_random.arcs()
+        for u, v in zip(gsrc.tolist(), gdst.tolist()):
+            if res.dist[u] >= 0 and res.dist[v] == res.dist[u] + 1:
+                expected.add((u, v))
+        assert dag_arcs == expected
+
+    def test_bfs_levels_helper(self, und_random):
+        levels = bfs_levels(und_random, 0)
+        assert levels[0].tolist() == [0]
+
+    def test_edges_traversed_counts_reached_outdegree(self, dir_random):
+        res = bfs_sigma(dir_random, 0)
+        reached = np.flatnonzero(res.dist >= 0)
+        expected = int(dir_random.out_degrees()[reached].sum())
+        assert res.edges_traversed == expected
+
+    def test_deep_path_graph(self):
+        n = 500
+        g = from_edges([(i, i + 1) for i in range(n - 1)], directed=True)
+        res = bfs_sigma(g, 0)
+        assert res.depth == n - 1
+        assert (res.sigma[res.dist >= 0] == 1).all()
+
+
+class TestHybridBFS:
+    @pytest.mark.parametrize("alpha", [0.5, 4.0, 100.0])
+    def test_matches_plain_bfs(self, zoo_entry, alpha):
+        _name, g, _nxg = zoo_entry
+        if g.n == 0:
+            return
+        for s in {0, g.n - 1}:
+            a = bfs_sigma(g, s)
+            b = bfs_sigma_hybrid(g, s, alpha=alpha)
+            assert np.array_equal(a.dist, b.dist)
+            assert np.allclose(a.sigma, b.sigma)
+            assert len(a.levels) == len(b.levels)
+            for la, lb in zip(a.levels, b.levels):
+                assert np.array_equal(np.sort(la), np.sort(lb))
+
+    def test_bottom_up_engages_on_dense_graph(self):
+        # a dense graph forces at least one bottom-up step with a tiny
+        # alpha; results must still be exact
+        nxg = nx.gnm_random_graph(30, 300, seed=5)
+        g = from_networkx(nxg, n=30)
+        res = bfs_sigma_hybrid(g, 0, alpha=0.01)
+        ref = bfs_sigma(g, 0)
+        assert np.allclose(res.sigma, ref.sigma)
+
+    def test_level_arcs_equivalent(self, und_random):
+        a = bfs_sigma(und_random, 0, keep_level_arcs=True)
+        b = bfs_sigma_hybrid(und_random, 0, keep_level_arcs=True)
+        sa = {
+            (int(u), int(v))
+            for src, dst in a.level_arcs
+            for u, v in zip(src, dst)
+        }
+        sb = {
+            (int(u), int(v))
+            for src, dst in b.level_arcs
+            for u, v in zip(src, dst)
+        }
+        assert sa == sb
+
+
+class TestBlockedBFS:
+    def test_alpha_semantics(self):
+        # 0-1-2-3 path; blocking {1} from source 0 reaches nothing
+        g = from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        blocked = np.asarray([False, True, False, False])
+        assert bfs_blocked(g, 0, blocked) == 0
+        # from 1 with {0,1} blocked: reaches 2,3
+        blocked = np.asarray([True, True, False, False])
+        assert bfs_blocked(g, 1, blocked) == 2
+
+    def test_source_not_counted(self):
+        g = from_edges([(0, 1)], directed=True)
+        assert bfs_blocked(g, 0, np.zeros(2, dtype=bool)) == 1
+
+    def test_reverse_blocked(self):
+        g = from_edges([(0, 1), (1, 2), (3, 1)], directed=True)
+        blocked = np.zeros(4, dtype=bool)
+        # who can reach vertex 1?
+        assert reverse_bfs_blocked(g, 1, blocked) == 2  # 0 and 3
+
+    def test_blocked_matches_networkx(self):
+        nxg = nx.gnm_random_graph(30, 70, seed=9, directed=True)
+        g = from_networkx(nxg, n=30)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            blocked = rng.random(30) < 0.3
+            s = int(rng.integers(0, 30))
+            blocked[s] = False
+            sub = nxg.subgraph([v for v in range(30) if not blocked[v]])
+            expected = len(nx.descendants(sub, s))
+            assert bfs_blocked(g, s, blocked) == expected

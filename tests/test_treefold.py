@@ -1,0 +1,172 @@
+"""Tests for pendant-tree contraction BC (repro.core.treefold)."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brandes_bc
+from repro.core.treefold import FoldResult, peel_pendant_trees, treefold_bc
+from repro.errors import AlgorithmError
+from repro.generators import (
+    barbell_graph,
+    caterpillar_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.graph.build import from_edges, from_networkx
+
+
+def assert_exact(g, name=""):
+    np.testing.assert_allclose(
+        treefold_bc(g), brandes_bc(g), rtol=1e-9, atol=1e-8, err_msg=name
+    )
+
+
+class TestPeeling:
+    def test_star_peels_leaves(self):
+        fold = peel_pendant_trees(star_graph(5))
+        assert sorted(fold.peel_order) == [1, 2, 3, 4, 5]
+        assert fold.weight[0] == 6
+        assert fold.core_mask.tolist() == [True] + [False] * 5
+
+    def test_cycle_peels_nothing(self):
+        fold = peel_pendant_trees(cycle_graph(6))
+        assert fold.peel_order == []
+        assert fold.core_mask.all()
+        assert (fold.weight == 1).all()
+
+    def test_chain_folds_transitively(self):
+        # 0-1-2 hanging off triangle 2-3-4
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 2)])
+        fold = peel_pendant_trees(g)
+        assert sorted(fold.peel_order) == [0, 1]
+        assert fold.weight[2] == 3
+        assert fold.anchor_of(0) == 2
+        assert fold.anchor_of(1) == 2
+        assert fold.children[1] == [0]
+
+    def test_pure_tree_collapses_to_one_vertex(self):
+        nxg = nx.random_labeled_tree(15, seed=3)
+        fold = peel_pendant_trees(from_networkx(nxg, n=15))
+        assert int(fold.core_mask.sum()) == 1
+        survivor = int(np.flatnonzero(fold.core_mask)[0])
+        assert fold.weight[survivor] == 15
+
+    def test_two_vertex_component(self):
+        g = from_edges([(0, 1)], n=3)
+        fold = peel_pendant_trees(g)
+        assert int(fold.core_mask[:2].sum()) == 1
+        assert fold.core_mask[2]  # isolated vertex survives
+        assert fold.weight[[0, 1]].sum() == 3  # 2 + 1 (one side folded)
+
+    def test_rejects_directed(self):
+        g = from_edges([(0, 1)], directed=True)
+        with pytest.raises(AlgorithmError, match="undirected"):
+            peel_pendant_trees(g)
+
+
+class TestExactness:
+    def test_zoo_undirected(self, zoo_entry):
+        name, g, _nxg = zoo_entry
+        if g.directed:
+            with pytest.raises(AlgorithmError):
+                treefold_bc(g)
+            return
+        assert_exact(g, name)
+
+    def test_structured_families(self):
+        assert_exact(star_graph(7), "star")
+        assert_exact(caterpillar_graph(6, 2), "caterpillar")
+        assert_exact(barbell_graph(4, 4), "barbell")
+        assert_exact(from_edges([(i, i + 1) for i in range(10)]), "path")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_with_pendant_trees(self, seed):
+        rng = np.random.default_rng(seed)
+        nxg = nx.gnm_random_graph(24, 30, seed=seed)
+        nid = 24
+        for _ in range(5):
+            anchor = int(rng.integers(0, 24))
+            for _hop in range(int(rng.integers(1, 4))):
+                nxg.add_edge(anchor, nid)
+                anchor = nid
+                nid += 1
+        assert_exact(from_networkx(nxg, n=nid), f"seed-{seed}")
+
+    def test_pure_trees(self):
+        for seed in range(4):
+            nxg = nx.random_labeled_tree(18, seed=seed)
+            assert_exact(from_networkx(nxg, n=18), f"tree-{seed}")
+
+    def test_disconnected_mixed(self):
+        nxg = nx.disjoint_union(
+            nx.random_labeled_tree(9, seed=1), nx.cycle_graph(6)
+        )
+        nxg.add_nodes_from([15, 16])
+        nxg.add_edge(17, 18)
+        assert_exact(from_networkx(nxg, n=19), "mixed")
+
+    def test_empty_and_tiny(self):
+        assert treefold_bc(from_edges([], n=0)).size == 0
+        assert treefold_bc(from_edges([], n=3)).tolist() == [0, 0, 0]
+        assert treefold_bc(from_edges([(0, 1)])).tolist() == [0, 0]
+
+
+@st.composite
+def pendant_heavy_graphs(draw):
+    """Random undirected cores with attached random pendant trees."""
+    n_core = draw(st.integers(min_value=1, max_value=18))
+    max_m = min(2 * n_core, n_core * (n_core - 1) // 2)
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.integers(0, n_core, size=2)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edge_list = sorted((int(u), int(v)) for u, v in edges)
+    nid = n_core
+    for _ in range(draw(st.integers(min_value=0, max_value=10))):
+        anchor = int(rng.integers(0, nid))
+        edge_list.append((anchor, nid))
+        nid += 1
+    return from_edges(edge_list, n=nid)
+
+
+@given(pendant_heavy_graphs())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_treefold_equals_brandes_property(g):
+    np.testing.assert_allclose(
+        treefold_bc(g), brandes_bc(g), rtol=1e-8, atol=1e-8
+    )
+
+
+class TestWorkSavings:
+    def test_counter_smaller_than_brandes(self):
+        from repro.baselines.common import WorkCounter
+
+        g = caterpillar_graph(8, 4)
+        tf = WorkCounter()
+        treefold_bc(g, counter=tf)
+        br = WorkCounter()
+        brandes_bc(g, counter=br)
+        # the caterpillar is almost all tree: contraction should slash
+        # traversal work by a large factor
+        assert tf.edges * 4 < br.edges
+
+    def test_registered_with_dash_semantics(self):
+        from repro.baselines import get_algorithm
+
+        fn = get_algorithm("treefold")
+        g = from_edges([(0, 1), (1, 2), (2, 0), (0, 3)])
+        np.testing.assert_allclose(fn(g), brandes_bc(g), rtol=1e-9)
+        gd = from_edges([(0, 1)], directed=True)
+        with pytest.raises(AlgorithmError):
+            fn(gd)

@@ -1,0 +1,103 @@
+"""Tests for structural validation — each invariant must be detectable."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import validate_graph
+from repro.types import INDPTR_DTYPE, VERTEX_DTYPE
+
+
+def make_raw(n, out_indptr, out_indices, in_indptr, in_indices, directed):
+    """Assemble a CSRGraph from raw (possibly broken) arrays."""
+    return CSRGraph(
+        n,
+        np.asarray(out_indptr, dtype=INDPTR_DTYPE),
+        np.asarray(out_indices, dtype=VERTEX_DTYPE),
+        np.asarray(in_indptr, dtype=INDPTR_DTYPE),
+        np.asarray(in_indices, dtype=VERTEX_DTYPE),
+        directed,
+    )
+
+
+class TestBrokenInvariants:
+    def test_indptr_wrong_length(self):
+        g = make_raw(3, [0, 1, 1], [1], [0, 0, 1, 1], [0], True)
+        with pytest.raises(GraphValidationError, match="n\\+1 entries"):
+            validate_graph(g)
+
+    def test_indptr_not_starting_at_zero(self):
+        g = make_raw(2, [1, 1, 1], [], [0, 0, 0], [], True)
+        with pytest.raises(GraphValidationError, match="start at 0"):
+            validate_graph(g)
+
+    def test_indptr_not_ending_at_arc_count(self):
+        g = make_raw(2, [0, 1, 5], [1], [0, 0, 1], [0], True)
+        with pytest.raises(GraphValidationError, match="end at"):
+            validate_graph(g)
+
+    def test_indptr_decreasing(self):
+        g = make_raw(3, [0, 2, 1, 3], [1, 2, 0], [0, 1, 2, 3], [2, 0, 1], True)
+        with pytest.raises(GraphValidationError, match="non-decreasing"):
+            validate_graph(g)
+
+    def test_out_of_range_target(self):
+        g = make_raw(2, [0, 1, 1], [5], [0, 0, 1], [0], True)
+        with pytest.raises(GraphValidationError, match="out-of-range"):
+            validate_graph(g)
+
+    def test_unsorted_row(self):
+        g = make_raw(3, [0, 2, 2, 2], [2, 1], [0, 0, 1, 2], [0, 0], True)
+        with pytest.raises(GraphValidationError, match="sorted"):
+            validate_graph(g)
+
+    def test_duplicate_in_row(self):
+        g = make_raw(2, [0, 2, 2], [1, 1], [0, 0, 2], [0, 0], True)
+        with pytest.raises(GraphValidationError, match="sorted"):
+            validate_graph(g)
+
+    def test_self_loop(self):
+        g = make_raw(2, [0, 1, 1], [0], [0, 1, 1], [0], True)
+        with pytest.raises(GraphValidationError, match="self-loops"):
+            validate_graph(g)
+
+    def test_reverse_not_transpose(self):
+        # forward 0->1, reverse claims 1<-... wrong source
+        g = make_raw(3, [0, 1, 1, 1], [1], [0, 0, 0, 1], [1], True)
+        with pytest.raises(GraphValidationError, match="transpose"):
+            validate_graph(g)
+
+    def test_undirected_must_share_arrays(self):
+        fwd_ip = np.asarray([0, 1, 2], dtype=INDPTR_DTYPE)
+        fwd_ix = np.asarray([1, 0], dtype=VERTEX_DTYPE)
+        g = CSRGraph(2, fwd_ip, fwd_ix, fwd_ip.copy(), fwd_ix.copy(), False)
+        with pytest.raises(GraphValidationError, match="share"):
+            validate_graph(g)
+
+    def test_undirected_asymmetric(self):
+        # 0->1 present, 1->0 missing in a shared "undirected" CSR
+        ip = np.asarray([0, 1, 1], dtype=INDPTR_DTYPE)
+        ix = np.asarray([1], dtype=VERTEX_DTYPE)
+        g = CSRGraph(2, ip, ix, ip, ix, False)
+        with pytest.raises(GraphValidationError, match="symmetric"):
+            validate_graph(g)
+
+    def test_arc_count_mismatch_between_directions(self):
+        g = make_raw(2, [0, 1, 1], [1], [0, 0, 0], [], True)
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+
+class TestValidGraphs:
+    def test_empty(self):
+        validate_graph(CSRGraph.from_arcs(0, [], [], directed=True))
+        validate_graph(CSRGraph.from_arcs(4, [], [], directed=False))
+
+    def test_well_formed_passes(self):
+        validate_graph(
+            CSRGraph.from_arcs(4, [0, 1, 2], [1, 2, 3], directed=True)
+        )
+        validate_graph(
+            CSRGraph.from_arcs(4, [0, 1, 2], [1, 2, 3], directed=False)
+        )

@@ -1,0 +1,170 @@
+"""Tests for weighted APGRE (repro.core.weighted_apgre)."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.baselines import brandes_bc, weighted_brandes_bc
+from repro.core.apgre import apgre_bc
+from repro.core.weighted_apgre import subgraph_weights, weighted_apgre_bc
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import graph_partition
+from repro.errors import AlgorithmError, GraphValidationError
+from repro.graph.build import from_edges, from_networkx
+
+
+def symmetric_weights(g, rng, lo=1, hi=7):
+    """Random integer weights, equal across both arc orientations."""
+    w = rng.integers(lo, hi, size=g.num_arcs).astype(float)
+    if not g.directed:
+        src, dst = g.arcs()
+        first = {}
+        for i, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+            key = (min(u, v), max(u, v))
+            if key in first:
+                w[i] = w[first[key]]
+            else:
+                first[key] = i
+    return w
+
+
+def pendant_graph(seed, directed):
+    rng = np.random.default_rng(seed)
+    nxg = nx.gnm_random_graph(20, 32, seed=seed, directed=directed)
+    nid = 20
+    for _ in range(6):
+        anchor = int(rng.integers(0, 20))
+        if directed:
+            nxg.add_edge(nid, anchor)
+        else:
+            nxg.add_edge(anchor, nid)
+        nid += 1
+    return from_networkx(nxg, n=nid)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_matches_weighted_brandes(self, seed, directed):
+        g = pendant_graph(seed, directed)
+        rng = np.random.default_rng(seed + 100)
+        w = symmetric_weights(g, rng)
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g, w),
+            weighted_brandes_bc(g, w),
+            rtol=1e-9,
+            atol=1e-8,
+        )
+
+    def test_unit_weights_match_unweighted_apgre(self, zoo_entry):
+        name, g, _nxg = zoo_entry
+        if g.n > 30:
+            return  # Dijkstra backward is per-vertex Python
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g),
+            apgre_bc(g),
+            rtol=1e-9,
+            atol=1e-8,
+            err_msg=name,
+        )
+
+    def test_matches_networkx_weighted(self):
+        rng = np.random.default_rng(3)
+        nxg = nx.gnm_random_graph(18, 32, seed=3)
+        for u, v in nxg.edges():
+            nxg[u][v]["weight"] = float(rng.integers(1, 6))
+        g = from_networkx(nxg, n=18)
+        src, dst = g.arcs()
+        w = np.asarray(
+            [nxg[int(u)][int(v)]["weight"] for u, v in zip(src, dst)]
+        )
+        raw = nx.betweenness_centrality(nxg, normalized=False, weight="weight")
+        expected = np.zeros(18)
+        for v, val in raw.items():
+            expected[v] = 2 * val  # ordered-pair convention
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g, w), expected, rtol=1e-9, atol=1e-8
+        )
+
+    def test_weights_reroute_through_articulation(self):
+        # two triangles joined at articulation point 2; a heavy edge
+        # inside one triangle changes within-triangle scores but the
+        # decomposition must stay exact
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]
+        g = from_edges(edges)
+        w = np.ones(g.num_arcs)
+        src, dst = g.arcs()
+        heavy = ((src == 0) & (dst == 1)) | ((src == 1) & (dst == 0))
+        w[heavy] = 10.0
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g, w),
+            weighted_brandes_bc(g, w),
+            rtol=1e-9,
+        )
+
+    @pytest.mark.parametrize("threshold", [0, 4, 1000])
+    def test_threshold_independence(self, threshold):
+        g = pendant_graph(7, False)
+        rng = np.random.default_rng(7)
+        w = symmetric_weights(g, rng)
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g, w, threshold=threshold),
+            weighted_brandes_bc(g, w),
+            rtol=1e-9,
+            atol=1e-8,
+        )
+
+    def test_fractional_weights(self):
+        g = pendant_graph(11, False)
+        rng = np.random.default_rng(11)
+        w = symmetric_weights(g, rng).astype(float) * 0.25 + 0.1
+        # re-symmetrise after transform (affine keeps symmetry)
+        np.testing.assert_allclose(
+            weighted_apgre_bc(g, w),
+            weighted_brandes_bc(g, w),
+            rtol=1e-8,
+            atol=1e-7,
+        )
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(AlgorithmError, match="positive"):
+            weighted_apgre_bc(g, np.asarray([1.0, 0.0]))
+
+    def test_rejects_bad_shape(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(GraphValidationError, match="per arc"):
+            weighted_apgre_bc(g, np.ones(7))
+
+    def test_partition_reuse(self):
+        g = pendant_graph(2, False)
+        rng = np.random.default_rng(2)
+        w = symmetric_weights(g, rng)
+        partition = graph_partition(g)
+        compute_alpha_beta(g, partition)
+        a = weighted_apgre_bc(g, w, partition=partition)
+        b = weighted_apgre_bc(g, w)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+class TestSubgraphWeights:
+    def test_maps_arcs_correctly(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], directed=True)
+        w = np.asarray([1.0, 2.0, 3.0, 4.0])
+        partition = graph_partition(g, threshold=0)
+        for sg in partition.subgraphs:
+            local_w = subgraph_weights(g, sg, w)
+            lsrc, ldst = sg.graph.arcs()
+            for i, (u, v) in enumerate(zip(lsrc.tolist(), ldst.tolist())):
+                gu, gv = int(sg.vertices[u]), int(sg.vertices[v])
+                src, dst = g.arcs()
+                pos = [
+                    j
+                    for j, (a, b) in enumerate(
+                        zip(src.tolist(), dst.tolist())
+                    )
+                    if (a, b) == (gu, gv)
+                ]
+                assert local_w[i] == w[pos[0]]
