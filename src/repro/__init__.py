@@ -21,10 +21,13 @@ from repro._version import __version__
 from repro.errors import (
     AlgorithmError,
     BenchmarkError,
+    ExecutionError,
     GraphFormatError,
     GraphValidationError,
     PartitionError,
     ReproError,
+    TaskTimeoutError,
+    WorkerCrashError,
 )
 from repro.graph import (
     CSRGraph,
@@ -60,6 +63,9 @@ __all__ = [
     "PartitionError",
     "AlgorithmError",
     "BenchmarkError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
     # graph
     "CSRGraph",
     "from_edges",

@@ -134,14 +134,22 @@ def run_per_source(
     forward: Callable[..., BFSResult] = bfs_sigma,
     counter: Optional[WorkCounter] = None,
     workers: int = 1,
+    supervisor=None,
+    health=None,
 ) -> np.ndarray:
     """Sum per-source dependencies into BC scores.
 
-    ``workers > 1`` distributes sources over a fork-based process pool
-    (coarse-grained parallelism — the strategy available to Python
-    given the GIL; see DESIGN.md §5). Edge counters only aggregate in
-    the single-process path: with workers the counts stay in the
-    children, so pass ``workers=1`` when instrumenting.
+    ``workers > 1`` distributes sources over the *supervised*
+    fork-based process pool (coarse-grained parallelism — the strategy
+    available to Python given the GIL; see DESIGN.md §5 and
+    docs/ROBUSTNESS.md): a crashed or stuck worker is retried and, if
+    need be, its chunk re-runs serially instead of hanging the map.
+    ``supervisor`` (a :class:`repro.parallel.supervisor
+    .SupervisorConfig`) tunes that policy and ``health`` (a
+    :class:`~repro.parallel.supervisor.RunHealth`) collects the
+    report. Edge counters only aggregate in the single-process path:
+    with workers the counts stay in the children, so pass
+    ``workers=1`` when instrumenting.
     """
     n = graph.n
     if sources is None:
@@ -152,7 +160,13 @@ def run_per_source(
         from repro.parallel.pool import map_sources_bc
 
         return map_sources_bc(
-            graph, list(source_list), mode=mode, forward=forward, workers=workers
+            graph,
+            list(source_list),
+            mode=mode,
+            forward=forward,
+            workers=workers,
+            supervisor=supervisor,
+            health=health,
         )
     bc = np.zeros(n, dtype=SCORE_DTYPE)
     for s in source_list:

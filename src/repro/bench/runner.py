@@ -6,10 +6,18 @@ computes the wrong thing is worse than no benchmark) and returns
 timing + MTEPS. Results are memoised per process so Table 2, Table 3
 and Figure 6 — three views of the same measurement — run the
 underlying computation once.
+
+Runs can be bounded by a per-run wall-clock budget (the ``timeout``
+argument, or ``REPRO_BENCH_TIMEOUT`` seconds in the environment):
+the algorithm then executes in a supervised forked child
+(:func:`repro.parallel.supervisor.call_with_timeout`) and a run that
+exceeds the budget — or whose worker dies — degrades to the paper's
+'-' cell instead of hanging or killing the whole benchmark sweep.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -17,11 +25,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.registry import get_algorithm
-from repro.errors import AlgorithmError, BenchmarkError
+from repro.errors import AlgorithmError, BenchmarkError, ExecutionError
 from repro.graph.csr import CSRGraph
 from repro.metrics.teps import graph_mteps
+from repro.parallel.supervisor import call_with_timeout
 
 __all__ = ["MeasuredRun", "ExperimentResult", "time_algorithm", "clear_cache"]
+
+
+def _env_timeout() -> Optional[float]:
+    """Per-run budget from ``REPRO_BENCH_TIMEOUT`` (seconds), if set."""
+    raw = os.environ.get("REPRO_BENCH_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BenchmarkError(
+            f"REPRO_BENCH_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise BenchmarkError(
+            f"REPRO_BENCH_TIMEOUT must be > 0, got {value:g}"
+        )
+    return value
 
 
 @dataclass
@@ -73,28 +100,35 @@ def time_algorithm(
     graph_name: str,
     repeat: int = 1,
     verify: bool = True,
+    timeout: Optional[float] = None,
     **kwargs,
 ) -> Optional[MeasuredRun]:
     """Run and time one algorithm on one graph (best of ``repeat``).
 
     Returns ``None`` when the algorithm declines the input (the
-    paper's '-' cells — e.g. ``async`` on directed graphs), and raises
-    :class:`BenchmarkError` if an exact algorithm disagrees with the
-    serial reference.
+    paper's '-' cells — e.g. ``async`` on directed graphs) *or* when
+    a ``timeout`` (argument or ``REPRO_BENCH_TIMEOUT``) elapses or
+    the supervised run dies — a misbehaving algorithm degrades one
+    cell, never the sweep. Raises :class:`BenchmarkError` if an exact
+    algorithm disagrees with the serial reference.
     """
     key = (algorithm, graph_name, graph.n)
     if key in _RUN_CACHE and not kwargs:
         return _RUN_CACHE[key]
     fn = get_algorithm(algorithm)
+    if timeout is None:
+        timeout = _env_timeout()
     best = float("inf")
     scores = None
     try:
         for _ in range(max(repeat, 1)):
             t0 = time.perf_counter()
-            scores = fn(graph, **kwargs)
+            scores = call_with_timeout(fn, graph, timeout=timeout, **kwargs)
             best = min(best, time.perf_counter() - t0)
     except AlgorithmError:
         return None  # unsupported input: the paper's '-' cell
+    except ExecutionError:
+        return None  # timed out / crashed under supervision: '-' cell
     assert scores is not None
     run = MeasuredRun(
         algorithm=algorithm,

@@ -61,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_compute.add_argument(
         "--workers", type=int, default=1, help="worker processes for APGRE"
     )
+    p_compute.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget for supervised workers",
+    )
+    p_compute.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool re-dispatches per failed/timed-out task (default 2)",
+    )
+    p_compute.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail fast instead of degrading to serial execution",
+    )
 
     p_part = sub.add_parser("partition", help="decomposition statistics")
     p_part.add_argument("graph", help="path to a graph file")
@@ -120,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as JSON (for repro.bench.diff_results)",
     )
+    p_bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run budget (sets REPRO_BENCH_TIMEOUT; slow cells "
+        "degrade to '-')",
+    )
 
     sub.add_parser("suite", help="list the analogue workload suite")
     sub.add_parser("selftest", help="quick end-to-end installation check")
@@ -136,7 +163,13 @@ def _cmd_compute(args) -> int:
     fn = get_algorithm(args.algorithm)
     kwargs = {}
     if args.algorithm == "APGRE" and args.workers > 1:
-        kwargs = {"parallel": "processes", "workers": args.workers}
+        kwargs = {
+            "parallel": "processes",
+            "workers": args.workers,
+            "timeout": args.timeout,
+            "max_retries": args.max_retries,
+            "fallback": not args.no_fallback,
+        }
     scores = fn(graph, **kwargs)
     k = min(args.top, graph.n)
     order = np.argsort(-scores)[:k]
@@ -251,6 +284,8 @@ def _cmd_bench(args) -> int:
         os.environ["REPRO_SCALE"] = str(args.scale)
     if args.graphs is not None:
         os.environ["REPRO_GRAPHS"] = args.graphs
+    if args.timeout is not None:
+        os.environ["REPRO_BENCH_TIMEOUT"] = str(args.timeout)
     from repro.bench.registry import experiment_ids, get_experiment
 
     if args.list:
@@ -306,7 +341,13 @@ def _cmd_suite(_args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Deliberate failures (:class:`repro.errors.ReproError` — bad graph
+    files, unknown algorithms, unhealthy execution with fallback
+    disabled) and file-system errors exit with code 2 and a one-line
+    message on stderr instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "compute": _cmd_compute,
@@ -318,7 +359,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "selftest": _cmd_selftest,
     }
-    return handlers[args.command](args)
+    from repro.errors import ReproError
+
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"repro-bc: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

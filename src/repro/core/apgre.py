@@ -13,8 +13,14 @@ Three steps:
 
 Step 3 carries the coarse-grained parallelism: sub-graphs are
 independent ("coarse-grained asynchronous parallelism among
-sub-graphs"), dispatched largest-first over a fork-based process pool
-(``parallel="processes"``) or a thread pool (``parallel="threads"``).
+sub-graphs"), dispatched largest-first over a supervised fork-based
+process pool (``parallel="processes"`` —
+:func:`repro.parallel.supervisor.supervised_map`, with per-task
+timeouts, crash detection, bounded retry and serial degradation) or a
+thread pool (``parallel="threads"``).  A processes run attaches its
+supervision report to ``BCResult.health``; the degradation ladder
+bottoms out in full-serial APGRE and, past that, the plain Brandes
+baseline (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -30,9 +36,15 @@ from repro.core.config import APGREConfig
 from repro.core.result import APGREStats, BCResult, PhaseTimings
 from repro.decompose.alphabeta import compute_alpha_beta
 from repro.decompose.partition import Partition, graph_partition
+from repro.errors import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
-from repro.parallel.pool import fork_map, get_worker_state, thread_map
+from repro.parallel.pool import get_worker_state, thread_map
 from repro.parallel.scheduler import lpt_order
+from repro.parallel.supervisor import (
+    RunHealth,
+    SupervisorConfig,
+    supervised_map,
+)
 from repro.types import SCORE_DTYPE
 
 __all__ = ["apgre_bc", "apgre_bc_detailed"]
@@ -132,22 +144,10 @@ def apgre_bc_detailed(
         stats.num_sources = sum(sg.num_vertices for sg in subgraphs)
 
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
-    order = lpt_order([sg.num_arcs for sg in subgraphs])
+    health: Optional[RunHealth] = None
 
     if config.parallel == "serial" or config.workers <= 1:
-        for rank, idx in enumerate(order):
-            t0 = time.perf_counter()
-            local = bc_subgraph(
-                subgraphs[idx],
-                eliminate_pendants=config.eliminate_pendants,
-                counter=counter,
-            )
-            elapsed = time.perf_counter() - t0
-            if idx == 0:
-                timings.top_bc += elapsed
-            else:
-                timings.rest_bc += elapsed
-            bc[subgraphs[idx].vertices] += local
+        _serial_pass(bc, subgraphs, config, counter, timings)
     else:
         t0 = time.perf_counter()
         tasks = _make_tasks(
@@ -158,23 +158,100 @@ def apgre_bc_detailed(
             "eliminate_pendants": config.eliminate_pendants,
         }
         if config.parallel == "processes":
-            results = fork_map(
-                _subgraph_task, tasks, workers=config.workers, state=state
+            health = RunHealth()
+            results = _supervised_pass(
+                graph, bc, tasks, subgraphs, state, config, counter,
+                timings, health
             )
         else:  # threads
             from repro.parallel import pool as _pool
 
-            _pool._STATE.clear()
-            _pool._STATE.update(state)
-            results = thread_map(
-                _subgraph_task, tasks, workers=config.workers
-            )
+            _pool._install_state(state)
+            try:
+                results = thread_map(
+                    _subgraph_task, tasks, workers=config.workers
+                )
+            finally:
+                _pool._STATE.clear()
+            for idx, local in results:
+                bc[subgraphs[idx].vertices] += local
         timings.rest_bc = time.perf_counter() - t0
-        for idx, local in results:
-            bc[subgraphs[idx].vertices] += local
 
     stats.edges_traversed = counter.edges
-    return BCResult(scores=bc, stats=stats)
+    return BCResult(scores=bc, stats=stats, health=health)
+
+
+def _serial_pass(
+    bc: np.ndarray, subgraphs, config: APGREConfig, counter, timings
+) -> None:
+    """The serial BC phase (also the full-serial fallback rung)."""
+    order = lpt_order([sg.num_arcs for sg in subgraphs])
+    for idx in order:
+        t0 = time.perf_counter()
+        local = bc_subgraph(
+            subgraphs[idx],
+            eliminate_pendants=config.eliminate_pendants,
+            counter=counter,
+        )
+        elapsed = time.perf_counter() - t0
+        if idx == 0:
+            timings.top_bc += elapsed
+        else:
+            timings.rest_bc += elapsed
+        bc[subgraphs[idx].vertices] += local
+
+
+def _supervised_pass(
+    graph: CSRGraph,
+    bc: np.ndarray,
+    tasks,
+    subgraphs,
+    state: dict,
+    config: APGREConfig,
+    counter,
+    timings,
+    health: RunHealth,
+) -> list:
+    """Process-parallel BC phase behind the full degradation ladder.
+
+    Rungs: supervised pool (with its internal per-task retry and
+    serial re-run rungs) → full-serial APGRE → plain Brandes.  The
+    lower rungs only engage when ``config.fallback`` is set; otherwise
+    the supervisor's :class:`~repro.errors.ExecutionError` propagates.
+    """
+    supervisor = SupervisorConfig(
+        timeout=config.timeout,
+        max_retries=config.max_retries,
+        fallback=config.fallback,
+    )
+    try:
+        results = supervised_map(
+            _subgraph_task,
+            tasks,
+            workers=config.workers,
+            state=state,
+            config=supervisor,
+            health=health,
+        )
+    except ExecutionError:
+        if not config.fallback:
+            raise
+        health.fallback_path = "serial"
+        try:
+            bc[:] = 0.0
+            _serial_pass(bc, subgraphs, config, counter, timings)
+            return []
+        except ReproError:
+            # last rung: the plain Brandes baseline needs nothing from
+            # the decomposition machinery that just failed
+            from repro.baselines.brandes import brandes_bc
+
+            health.fallback_path = "brandes"
+            bc[:] = brandes_bc(graph)
+            return []
+    for idx, local in results:
+        bc[subgraphs[idx].vertices] += local
+    return results
 
 
 def apgre_bc(
@@ -185,17 +262,25 @@ def apgre_bc(
     workers: int = 1,
     eliminate_pendants: bool = True,
     alpha_beta_method: str = "auto",
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fallback: bool = True,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
     Equivalent to ``apgre_bc_detailed(graph, APGREConfig(...)).scores``;
-    see :class:`repro.core.config.APGREConfig` for the options.
+    see :class:`repro.core.config.APGREConfig` for the options
+    (``timeout``/``max_retries``/``fallback`` set the supervision
+    policy of ``parallel="processes"`` runs).
     """
     kwargs = dict(
         parallel=parallel,
         workers=workers,
         eliminate_pendants=eliminate_pendants,
         alpha_beta_method=alpha_beta_method,
+        timeout=timeout,
+        max_retries=max_retries,
+        fallback=fallback,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.decompose.partition import DEFAULT_THRESHOLD
 from repro.errors import AlgorithmError
@@ -37,6 +38,19 @@ class APGREConfig:
         for the scaling study).
     workers:
         Worker count for the parallel modes.
+    timeout:
+        Per-task wall-clock budget in seconds for supervised process
+        execution (``None`` disables timeouts). Stuck workers are
+        killed and their task retried/degraded per the ladder in
+        docs/ROBUSTNESS.md.
+    max_retries:
+        Pool re-dispatches allowed per failed/timed-out task before
+        the task drops to the serial rung.
+    fallback:
+        ``True`` (default) enables graceful degradation (serial task
+        re-runs, and full-serial/Brandes rungs when the pool is
+        unhealthy); ``False`` raises
+        :class:`~repro.errors.ExecutionError` subclasses instead.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -44,6 +58,9 @@ class APGREConfig:
     eliminate_pendants: bool = True
     parallel: str = "serial"
     workers: int = 1
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -61,4 +78,12 @@ class APGREConfig:
         if self.threshold < 0:
             raise AlgorithmError(
                 f"threshold must be >= 0, got {self.threshold}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise AlgorithmError(
+                f"timeout must be > 0 seconds, got {self.timeout}"
+            )
+        if self.max_retries < 0:
+            raise AlgorithmError(
+                f"max_retries must be >= 0, got {self.max_retries}"
             )

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.supervisor import RunHealth
 
 __all__ = [
     "PhaseTimings",
@@ -97,10 +100,18 @@ class BCResult:
 
     ``scores[v]`` is the exact unnormalised BC of vertex ``v`` (same
     convention as every baseline in :mod:`repro.baselines`).
+
+    ``health`` is the supervision report of a
+    ``parallel="processes"`` run (retries, worker crashes, timeouts,
+    serial fallbacks — see
+    :class:`repro.parallel.supervisor.RunHealth`); ``None`` for
+    serial and thread runs, which have no pool to supervise. Check
+    ``health.degraded`` to detect a run that needed any fallback.
     """
 
     scores: np.ndarray
     stats: APGREStats
+    health: Optional["RunHealth"] = None
 
     def top_k(self, k: int) -> np.ndarray:
         """Vertex ids of the ``k`` highest-BC vertices, best first."""

@@ -40,6 +40,13 @@ from repro.decompose.partition import (
 )
 from repro.errors import AlgorithmError, GraphValidationError
 from repro.graph.csr import CSRGraph
+from repro.parallel.pool import get_worker_state
+from repro.parallel.scheduler import lpt_order
+from repro.parallel.supervisor import (
+    RunHealth,
+    SupervisorConfig,
+    supervised_map,
+)
 from repro.types import SCORE_DTYPE
 
 __all__ = ["weighted_apgre_bc", "subgraph_weights"]
@@ -126,6 +133,18 @@ def _weighted_bc_subgraph(
     return bc
 
 
+def _weighted_subgraph_task(index: int) -> Tuple[int, np.ndarray]:
+    """Worker body: one sub-graph's weighted local scores."""
+    state = get_worker_state()
+    partition: Partition = state["partition"]
+    return index, _weighted_bc_subgraph(
+        state["graph"],
+        partition.subgraphs[index],
+        state["weights"],
+        state["tolerance"],
+    )
+
+
 def weighted_apgre_bc(
     graph: CSRGraph,
     weights: Optional[np.ndarray] = None,
@@ -133,6 +152,9 @@ def weighted_apgre_bc(
     threshold: int = DEFAULT_THRESHOLD,
     tolerance: float = 1e-12,
     partition: Optional[Partition] = None,
+    workers: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+    health: Optional[RunHealth] = None,
 ) -> np.ndarray:
     """Exact BC on a positively weighted graph via APGRE decomposition.
 
@@ -150,6 +172,17 @@ def weighted_apgre_bc(
         Floating tie tolerance for equal-length paths.
     partition:
         Optional pre-computed partition (with α/β filled) to reuse.
+    workers:
+        ``> 1`` dispatches sub-graphs (largest first) over the
+        supervised process pool
+        (:func:`repro.parallel.supervisor.supervised_map`); ``1``
+        keeps the serial loop.
+    supervisor:
+        Fault-tolerance policy for the pooled path (timeouts, retry,
+        fallback); defaults to ``SupervisorConfig()``.
+    health:
+        Optional :class:`~repro.parallel.supervisor.RunHealth` to
+        collect the supervision report into.
     """
     m = graph.num_arcs
     if weights is None:
@@ -169,6 +202,24 @@ def weighted_apgre_bc(
         partition = graph_partition(graph, threshold=threshold)
         compute_alpha_beta(graph, partition)
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    if workers > 1 and len(partition.subgraphs) > 1:
+        order = lpt_order([sg.num_arcs for sg in partition.subgraphs])
+        results = supervised_map(
+            _weighted_subgraph_task,
+            order,
+            workers=workers,
+            state={
+                "graph": graph,
+                "partition": partition,
+                "weights": weights,
+                "tolerance": tolerance,
+            },
+            config=supervisor,
+            health=health,
+        )
+        for index, local in results:
+            bc[partition.subgraphs[index].vertices] += local
+        return bc
     for sg in partition.subgraphs:
         bc[sg.vertices] += _weighted_bc_subgraph(
             graph, sg, weights, tolerance

@@ -15,6 +15,9 @@ __all__ = [
     "PartitionError",
     "AlgorithmError",
     "BenchmarkError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
 ]
 
 
@@ -64,4 +67,31 @@ class BenchmarkError(ReproError):
 
     Raised by :mod:`repro.bench` for unknown experiment ids, empty
     workload selections and similar harness-level misuse.
+    """
+
+
+class ExecutionError(ReproError):
+    """Supervised coarse-grained execution could not produce a result.
+
+    Base class for failures of the :mod:`repro.parallel.supervisor`
+    layer — a task that exhausted its retry budget, an unhealthy pool
+    with fallback disabled, or a serial re-run that itself failed.
+    The message always names the task and the attempt count.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (segfault, OOM kill, ``os._exit``).
+
+    Raised only when fallback is disabled or every rung of the
+    degradation ladder (pool retry → serial re-run) is exhausted;
+    with fallback enabled the supervisor re-runs the task instead.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task wall-clock budget.
+
+    The stuck worker is killed before this is raised, so a timeout
+    never leaves the pool occupied by a runaway task.
     """

@@ -8,11 +8,32 @@ parallelism across sub-graphs/sources is a fork-based process pool
 GIL serialises the per-level driver code. Sub-graph tasks are ordered
 by LPT (:mod:`repro.parallel.scheduler`) so the dominant top sub-graph
 starts first.
+
+Production dispatch goes through the *supervised* layer
+(:mod:`repro.parallel.supervisor`): per-task timeouts, worker-crash
+detection, bounded retry with backoff and graceful serial degradation,
+with every failure path exercised deterministically by the
+fault-injection harness (:mod:`repro.parallel.faults`); see
+docs/ROBUSTNESS.md.
 """
 
 from repro.parallel.pool import fork_map, map_sources_bc, thread_map
 from repro.parallel.scheduler import assign_lpt, lpt_order
 from repro.parallel.sharedmem import SharedArray
+from repro.parallel.supervisor import (
+    RunHealth,
+    SupervisorConfig,
+    TaskOutcome,
+    call_with_timeout,
+    supervised_map,
+)
+from repro.parallel.faults import (
+    FaultPlan,
+    FaultSpec,
+    clear_faults,
+    injected_faults,
+    install_faults,
+)
 
 __all__ = [
     "fork_map",
@@ -21,4 +42,14 @@ __all__ = [
     "assign_lpt",
     "lpt_order",
     "SharedArray",
+    "SupervisorConfig",
+    "RunHealth",
+    "TaskOutcome",
+    "supervised_map",
+    "call_with_timeout",
+    "FaultSpec",
+    "FaultPlan",
+    "install_faults",
+    "clear_faults",
+    "injected_faults",
 ]

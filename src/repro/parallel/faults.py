@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the supervised execution layer.
+
+Every failure path of :func:`repro.parallel.supervisor.supervised_map`
+— worker death, stuck tasks, in-worker exceptions, corrupted results —
+is exercised in tests by *injecting* the failure rather than hoping to
+observe it.  A :class:`FaultPlan` names exactly which task, on exactly
+which attempt, misbehaves in which way, so fault tests are fully
+deterministic and bit-level reproducible.
+
+The plan is installed in the *parent* process
+(:func:`install_faults` / :func:`injected_faults`); workers inherit it
+through ``fork`` and consult it via the two hooks the supervisor's
+worker shim calls around the task function:
+
+* :func:`fire_pre_faults` — before the task body; may kill the worker
+  (``os._exit``), delay it, or raise :class:`InjectedFault`;
+* :func:`apply_corruption` — after the task body; may replace the
+  result with :attr:`FaultSpec.replacement` (paired with the
+  supervisor's ``validate`` hook to exercise the corrupt-result path).
+
+Faults fire only inside worker processes.  The supervisor's inline and
+serial-fallback paths never consult the plan: the serial rung of the
+degradation ladder is exactly the trusted path a real deployment falls
+back to, and a ``kill`` fault firing inline would take the test runner
+down with it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "install_faults",
+    "clear_faults",
+    "active_plan",
+    "injected_faults",
+    "fire_pre_faults",
+    "apply_corruption",
+]
+
+#: Exit status used by ``kill`` faults — distinctive in core dumps/logs.
+KILL_EXIT_CODE = 113
+
+_KINDS = ("kill", "delay", "raise", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception thrown by a ``raise`` fault.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: it stands in
+    for an arbitrary bug inside a worker task, which the supervisor
+    must survive without knowing its type.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: *which* task fails, *when*, and *how*.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill"`` (``os._exit`` — simulates segfault/OOM kill),
+        ``"delay"`` (sleep ``seconds`` before running — triggers the
+        per-task timeout), ``"raise"`` (throw :class:`InjectedFault`)
+        or ``"corrupt"`` (replace the result with ``replacement``).
+    task:
+        Task index (position in the ``payloads`` sequence handed to
+        ``supervised_map``).
+    attempts:
+        Attempt numbers the fault fires on (0 = first try).  The
+        default ``(0,)`` makes retries succeed; ``range(99)`` makes a
+        task fail persistently enough to exhaust any retry budget.
+    seconds:
+        Sleep duration for ``delay`` faults.
+    replacement:
+        Result substituted by ``corrupt`` faults (must survive the
+        result pipe, i.e. be picklable).
+    message:
+        Exception text for ``raise`` faults.
+    """
+
+    kind: str
+    task: int
+    attempts: Tuple[int, ...] = (0,)
+    seconds: float = 0.0
+    replacement: Any = None
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.task < 0:
+            raise ValueError(f"task index must be >= 0, got {self.task}")
+        # tolerate any iterable of ints for convenience
+        object.__setattr__(self, "attempts", tuple(self.attempts))
+
+    def matches(self, task: int, attempt: int) -> bool:
+        return task == self.task and attempt in self.attempts
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+
+    def find(
+        self, task: int, attempt: int, *, kinds: Sequence[str] = _KINDS
+    ) -> Optional[FaultSpec]:
+        """First spec matching (task, attempt) among ``kinds``."""
+        for spec in self.specs:
+            if spec.kind in kinds and spec.matches(task, attempt):
+                return spec
+        return None
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+# The active plan. Installed in the parent before workers fork, so the
+# children see it without any pickling; cleared with clear_faults().
+_PLAN: Optional[FaultPlan] = None
+
+
+def install_faults(plan: FaultPlan) -> None:
+    """Activate ``plan`` for subsequently forked workers."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear_faults() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _PLAN
+    _PLAN = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _PLAN
+
+
+@contextmanager
+def injected_faults(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Scope a fault plan to a ``with`` block (always cleared)."""
+    plan = FaultPlan(specs)
+    install_faults(plan)
+    try:
+        yield plan
+    finally:
+        clear_faults()
+
+
+def fire_pre_faults(task: int, attempt: int) -> None:
+    """Worker-side hook run before the task body.
+
+    ``kill`` exits the process immediately (bypassing ``finally``
+    blocks and atexit handlers, like a real segfault); ``delay``
+    sleeps; ``raise`` throws :class:`InjectedFault`.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.find(task, attempt, kinds=("kill", "delay", "raise"))
+    if spec is None:
+        return
+    if spec.kind == "kill":
+        os._exit(KILL_EXIT_CODE)
+    elif spec.kind == "delay":
+        time.sleep(spec.seconds)
+    else:  # raise
+        raise InjectedFault(f"{spec.message} (task {task}, "
+                            f"attempt {attempt})")
+
+
+def apply_corruption(task: int, attempt: int, result: Any) -> Any:
+    """Worker-side hook run on the task result before it is returned."""
+    plan = _PLAN
+    if plan is None:
+        return result
+    spec = plan.find(task, attempt, kinds=("corrupt",))
+    if spec is None:
+        return result
+    return spec.replacement

@@ -15,12 +15,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.types import SCORE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.supervisor import RunHealth, SupervisorConfig
 
 __all__ = ["fork_map", "thread_map", "map_sources_bc", "available_workers"]
 
@@ -65,19 +68,37 @@ def fork_map(
         Small picklable items (vertex ranges, sub-graph indices...).
         Everything heavy belongs in ``state``.
     workers:
-        Process count; ``<= 1`` (or no fork support, or one payload)
-        runs inline.
+        Process count; must be ``>= 1`` (``ValueError`` otherwise,
+        mirroring :func:`repro.parallel.scheduler.assign_lpt`).
     state:
         Read-only context installed in every worker before the map.
+        Installed into the *parent* first (workers inherit it through
+        fork) and always cleared again before returning, so a large
+        graph is never retained across calls.
+
+    Inline degradation contract: with ``workers == 1``, a single
+    payload, or no ``fork`` support on the platform, the map runs
+    in-process over the same ``func``/``state`` and the results are
+    bit-identical to the pooled path. For supervision (crash
+    detection, timeouts, retries) use
+    :func:`repro.parallel.supervisor.supervised_map` instead — this
+    primitive trusts its workers not to die.
     """
-    if state is not None:
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    installed = state is not None
+    if installed:
         _install_state(state)
-    if workers <= 1 or len(payloads) <= 1 or not _supports_fork():
-        return [func(p) for p in payloads]
-    ctx = mp.get_context("fork")
-    workers = min(workers, len(payloads))
-    with ctx.Pool(processes=workers) as pool:
-        return pool.map(func, payloads)
+    try:
+        if workers == 1 or len(payloads) <= 1 or not _supports_fork():
+            return [func(p) for p in payloads]
+        ctx = mp.get_context("fork")
+        workers = min(workers, len(payloads))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(func, payloads)
+    finally:
+        if installed:
+            _STATE.clear()
 
 
 def get_worker_state() -> dict:
@@ -96,8 +117,12 @@ def thread_map(
     Provided for the scaling benchmarks' thread mode: with CPython's
     GIL the speedup is limited to whatever time numpy kernels spend
     outside the interpreter — measuring exactly that is the point.
+    Runs inline for ``workers == 1`` or a single payload; raises
+    ``ValueError`` for ``workers < 1``.
     """
-    if workers <= 1 or len(payloads) <= 1:
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(payloads) <= 1:
         return [func(p) for p in payloads]
     with ThreadPoolExecutor(max_workers=workers) as ex:
         return list(ex.map(func, payloads))
@@ -127,8 +152,21 @@ def map_sources_bc(
     mode: str,
     forward: Callable,
     workers: int,
+    supervisor: Optional["SupervisorConfig"] = None,
+    health: Optional["RunHealth"] = None,
 ) -> np.ndarray:
-    """Sum per-source BC contributions across a process pool."""
+    """Sum per-source BC contributions across a supervised process pool.
+
+    Chunks are dispatched through
+    :func:`repro.parallel.supervisor.supervised_map`, so a crashed or
+    stuck worker costs one retried chunk, not the whole run.
+    ``supervisor`` sets the fault-tolerance policy (default: no
+    timeout, 2 retries, serial fallback); pass a
+    :class:`~repro.parallel.supervisor.RunHealth` as ``health`` to
+    collect the supervision report.
+    """
+    from repro.parallel.supervisor import supervised_map
+
     if not sources:
         return np.zeros(graph.n, dtype=SCORE_DTYPE)
     chunk_count = max(workers * 4, 1)
@@ -137,11 +175,13 @@ def map_sources_bc(
         for i in range(chunk_count)
         if sources[i::chunk_count]
     ]
-    parts = fork_map(
+    parts = supervised_map(
         _bc_source_chunk,
         chunks,
         workers=workers,
         state={"graph": graph, "mode": mode, "forward": forward},
+        config=supervisor,
+        health=health,
     )
     total = np.zeros(graph.n, dtype=SCORE_DTYPE)
     for part in parts:

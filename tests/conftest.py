@@ -2,12 +2,55 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import networkx as nx
 import pytest
 
 from repro.graph.build import from_networkx
 from repro.graph.csr import CSRGraph
+
+#: Default per-test wall-clock alarm (seconds). Override per test with
+#: ``@pytest.mark.timeout(seconds)``. The point is hang protection —
+#: a regression that reintroduces a blind ``Pool.map`` (which hangs
+#: forever when a worker dies) must fail fast, not stall CI; the
+#: fault-injection suite relies on this backstop.
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _test_alarm(request):
+    """In-repo stand-in for pytest-timeout: SIGALRM per test.
+
+    CPython delivers signals on the main thread even while it blocks
+    in an interruptible wait (pipe reads, lock acquires, ``Pool.map``),
+    so a hung test raises instead of wedging the suite. Skipped off
+    the main thread and on platforms without ``SIGALRM``.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker else DEFAULT_TEST_TIMEOUT
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):  # pragma: no cover - non-POSIX / nested runners
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds:g}s wall-clock alarm "
+            f"(suspected hang)", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def nx_betweenness(nxg) -> np.ndarray:

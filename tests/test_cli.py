@@ -195,3 +195,52 @@ class TestSelftest:
         out = capsys.readouterr().out
         assert "checks passed" in out
         assert "[ok]" in out
+
+
+class TestErrorHandling:
+    """ReproError/OSError exit with a clean one-liner, not a traceback."""
+
+    def test_malformed_graph_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("%%MatrixMarket nonsense\n1 2\n")
+        code = main(["compute", str(bad)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-bc: error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_file_exits_nonzero(self, capsys):
+        code = main(["info", "/nonexistent/graph.txt"])
+        assert code == 2
+        assert "repro-bc: error:" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_nonzero(self, graph_file, capsys):
+        code = main(["compute", graph_file, "--algorithm", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err
+
+
+class TestSupervisionFlags:
+    def test_compute_flags_parse(self):
+        args = build_parser().parse_args(
+            ["compute", "g.txt", "--workers", "4", "--timeout", "30",
+             "--max-retries", "1", "--no-fallback"]
+        )
+        assert args.timeout == 30.0
+        assert args.max_retries == 1
+        assert args.no_fallback
+
+    def test_compute_with_supervised_workers(self, graph_file, capsys):
+        code = main(
+            ["compute", graph_file, "--workers", "2", "--timeout", "60"]
+        )
+        assert code == 0
+        assert "APGRE BC" in capsys.readouterr().out
+
+    def test_bench_timeout_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TIMEOUT", raising=False)
+        import os
+
+        assert main(["bench", "--list", "--timeout", "90"]) == 0
+        assert os.environ.pop("REPRO_BENCH_TIMEOUT") == "90.0"

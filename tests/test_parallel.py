@@ -47,6 +47,28 @@ class TestForkMap:
     def test_available_workers_positive(self):
         assert available_workers() >= 1
 
+    def test_invalid_workers_raises(self):
+        with pytest.raises(ValueError, match="workers"):
+            fork_map(_square, [1, 2], workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            fork_map(_square, [1, 2], workers=-3)
+
+    def test_state_cleared_after_map(self):
+        from repro.parallel import pool as pool_mod
+
+        fork_map(_state_lookup, ["a", "a"], workers=2, state={"a": 1})
+        assert pool_mod._STATE == {}
+        # inline path clears too
+        fork_map(_state_lookup, ["a"], workers=1, state={"a": 2})
+        assert pool_mod._STATE == {}
+
+    def test_state_cleared_even_when_func_raises(self):
+        from repro.parallel import pool as pool_mod
+
+        with pytest.raises(KeyError):
+            fork_map(_state_lookup, ["missing"], workers=1, state={"a": 3})
+        assert pool_mod._STATE == {}
+
 
 class TestThreadMap:
     def test_ordered(self):
@@ -56,6 +78,10 @@ class TestThreadMap:
 
     def test_inline_path(self):
         assert thread_map(_square, [5], workers=8) == [25]
+
+    def test_invalid_workers_raises(self):
+        with pytest.raises(ValueError, match="workers"):
+            thread_map(_square, [1], workers=0)
 
 
 class TestMapSourcesBC:

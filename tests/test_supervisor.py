@@ -1,0 +1,214 @@
+"""Tests for the supervised execution layer (no injected faults).
+
+The failure paths live in tests/test_faults.py (marked ``faults``);
+this module covers the happy path, configuration validation, the
+health report plumbing and the single supervised call.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ExecutionError,
+    ReproError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.parallel import pool as pool_mod
+from repro.parallel.supervisor import (
+    RunHealth,
+    SupervisorConfig,
+    TaskOutcome,
+    call_with_timeout,
+    supervised_map,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_forever(x):
+    time.sleep(3600)
+    return x  # pragma: no cover
+
+
+def _crash(x):
+    import os
+
+    os._exit(7)  # pragma: no cover
+
+
+def _raise_algorithm_error(x):
+    raise AlgorithmError("declined")
+
+
+class TestErrorsHierarchy:
+    def test_execution_errors_are_repro_errors(self):
+        for exc in (ExecutionError, WorkerCrashError, TaskTimeoutError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(WorkerCrashError, ExecutionError)
+        assert issubclass(TaskTimeoutError, ExecutionError)
+
+
+class TestSupervisorConfig:
+    def test_defaults(self):
+        cfg = SupervisorConfig()
+        assert cfg.timeout is None
+        assert cfg.max_retries == 2
+        assert cfg.fallback
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"max_retries": -1},
+            {"backoff_factor": 0.5},
+            {"backoff_base": -0.1},
+            {"max_pool_failures": -1},
+            {"poll_interval": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+    def test_backoff_grows_exponentially(self):
+        cfg = SupervisorConfig(backoff_base=0.1, backoff_factor=2.0)
+        assert cfg.backoff(1) == pytest.approx(0.1)
+        assert cfg.backoff(2) == pytest.approx(0.2)
+        assert cfg.backoff(3) == pytest.approx(0.4)
+
+
+class TestSupervisedMapHappyPath:
+    def test_matches_inline(self):
+        out = supervised_map(_square, list(range(10)), workers=3)
+        assert out == [i * i for i in range(10)]
+
+    def test_order_preserved_many_tasks(self):
+        out = supervised_map(_square, list(range(37)), workers=4)
+        assert out == [i * i for i in range(37)]
+
+    def test_inline_when_single_worker(self):
+        health = RunHealth()
+        out = supervised_map(
+            _square, [1, 2, 3], workers=1, health=health
+        )
+        assert out == [1, 4, 9]
+        assert health.inline and health.ok
+
+    def test_single_payload_runs_inline(self):
+        health = RunHealth()
+        assert supervised_map(_square, [6], workers=4, health=health) == [36]
+        assert health.inline
+
+    def test_empty_payloads(self):
+        assert supervised_map(_square, [], workers=2) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            supervised_map(_square, [1], workers=0)
+
+    def test_healthy_report(self):
+        health = RunHealth()
+        supervised_map(_square, list(range(6)), workers=2, health=health)
+        assert health.tasks == 6
+        assert health.pool_ok == 6
+        assert health.ok and not health.degraded
+        assert health.faults == 0
+        assert len(health.outcomes) == 6
+        assert {o.status for o in health.outcomes} == {"ok-pool"}
+        assert "ok" in health.summary()
+
+    def test_state_visible_and_cleared(self):
+        out = supervised_map(
+            _lookup_state, ["k", "k"], workers=2, state={"k": 99}
+        )
+        assert out == [99, 99]
+        assert pool_mod._STATE == {}
+
+    def test_worker_exception_propagates_via_serial_rung(self):
+        # a deterministic exception survives retries, then re-raises
+        # with its original type on the serial rung
+        with pytest.raises(AlgorithmError, match="declined"):
+            supervised_map(
+                _raise_algorithm_error,
+                [1, 2],
+                workers=2,
+                config=SupervisorConfig(max_retries=0),
+            )
+
+
+def _lookup_state(key):
+    return pool_mod.get_worker_state()[key]
+
+
+class TestRunHealthReport:
+    def test_merge_accumulates(self):
+        a = RunHealth(tasks=3, pool_ok=3)
+        b = RunHealth(tasks=2, retries=1, worker_crashes=1)
+        a.merge(b)
+        assert a.tasks == 5
+        assert a.retries == 1
+        assert a.worker_crashes == 1
+        assert a.degraded
+
+    def test_outcome_records(self):
+        o = TaskOutcome(task=3, attempts=2, status="ok-serial",
+                        events=["crash", "retry", "serial"])
+        assert o.task == 3 and "crash" in o.events
+
+    def test_summary_mentions_fallback(self):
+        h = RunHealth(tasks=1, fallback_path="brandes")
+        assert "brandes" in h.summary()
+        assert h.degraded
+
+
+class TestCallWithTimeout:
+    def test_plain_result(self):
+        assert call_with_timeout(_square, 9, timeout=30) == 81
+
+    def test_none_timeout_runs_in_process(self):
+        assert call_with_timeout(_square, 4, timeout=None) == 16
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            call_with_timeout(_square, 4, timeout=0)
+
+    def test_timeout_kills_child(self):
+        t0 = time.perf_counter()
+        with pytest.raises(TaskTimeoutError):
+            call_with_timeout(_sleep_forever, 1, timeout=0.3)
+        assert time.perf_counter() - t0 < 30
+
+    def test_crash_detected(self):
+        with pytest.raises(WorkerCrashError, match="exit code 7"):
+            call_with_timeout(_crash, 1, timeout=30)
+
+    def test_exception_type_preserved(self):
+        with pytest.raises(AlgorithmError, match="declined"):
+            call_with_timeout(_raise_algorithm_error, 1, timeout=30)
+
+
+class TestMapSourcesBCSupervised:
+    def test_health_collected(self, und_random):
+        from repro.baselines.common import run_per_source
+        from repro.graph.traversal import bfs_sigma
+        from repro.parallel.pool import map_sources_bc
+
+        ref = run_per_source(und_random, mode="succs")
+        health = RunHealth()
+        out = map_sources_bc(
+            und_random,
+            list(range(und_random.n)),
+            mode="succs",
+            forward=bfs_sigma,
+            workers=2,
+            health=health,
+        )
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-10)
+        assert health.tasks > 0 and health.ok
