@@ -1,0 +1,124 @@
+"""Batched-kernel smoke bench: serial vs batched wall-clock + MTEPS.
+
+A small deterministic perf artifact for the batched multi-source BC
+kernel (:mod:`repro.graph.batched`): two suite graphs, a fixed sorted
+source sample, serial per-source (``mode="arcs"``) against
+``batch_size="auto"``, recorded as wall-clock seconds, examined-edge
+MTEPS and the speedup ratio.  Results land in
+``benchmarks/results/bench_batched_kernel.json`` each run; the first
+recorded numbers are committed as ``benchmarks/BENCH_baseline.json``
+so later PRs have a perf trajectory to compare against.
+
+Wall-clock is measured on uncounted runs (instrumented runs pay for
+the tally); the MTEPS denominator comes from one counted serial run,
+whose tally the batched path reproduces exactly (see
+``tests/test_batched.py``).
+
+Honest numbers note: the PR targeted a 3x speedup at ``auto`` on a
+>= 50k-vertex suite graph.  On a single core the measured ceiling is
+~1.5-1.9x (per-source numpy BFS is dispatch-bound, but the batched
+kernel's per-arc gathers land in L3 instead of L2); the baseline
+records what the kernel actually delivers, and the assertion below
+guards the achieved level, not the aspiration.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import WorkCounter, run_per_source
+from repro.bench.workloads import get_graph
+from repro.metrics.teps import examined_mteps
+
+pytestmark = pytest.mark.benchmarks
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: (suite graph, scale, sources) — both >= 50k vertices so the numbers
+#: speak to the acceptance workload, one deep grid + one shallow
+#: social analogue to cover both frontier regimes.
+WORKLOADS = [
+    ("USA-roadBAY", 10.5, 128),
+    ("WikiTalk", 49.0, 128),
+]
+SEED = 42
+REPEAT = 2  # best-of: absorbs one-off scheduler noise
+
+
+def _best_of(fn, repeat=REPEAT):
+    best = None
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def measure_workload(name, scale, n_sources):
+    """One graph's serial-vs-batched measurement row."""
+    graph = get_graph(name, scale=scale)
+    rng = np.random.default_rng(SEED)
+    sources = np.sort(
+        rng.choice(graph.n, size=min(n_sources, graph.n), replace=False)
+    ).tolist()
+    counter = WorkCounter()
+    run_per_source(graph, sources=sources, mode="arcs", counter=counter)
+    edges = counter.edges
+    serial, t_serial = _best_of(
+        lambda: run_per_source(graph, sources=sources, mode="arcs")
+    )
+    batched, t_batched = _best_of(
+        lambda: run_per_source(
+            graph, sources=sources, mode="arcs", batch_size="auto"
+        )
+    )
+    np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-9)
+    return {
+        "graph": name,
+        "scale": scale,
+        "n": graph.n,
+        "m": graph.num_arcs,
+        "sources": len(sources),
+        "edges_examined": edges,
+        "serial_seconds": round(t_serial, 4),
+        "batched_seconds": round(t_batched, 4),
+        "serial_mteps": round(examined_mteps(edges, t_serial), 2),
+        "batched_mteps": round(examined_mteps(edges, t_batched), 2),
+        "speedup": round(t_serial / t_batched, 3),
+    }
+
+
+def test_batched_kernel_smoke(results_dir):
+    rows = [measure_workload(*w) for w in WORKLOADS]
+    payload = {
+        "bench": "bench_batched_kernel",
+        "seed": SEED,
+        "repeat": REPEAT,
+        "workloads": rows,
+    }
+    out = results_dir / "bench_batched_kernel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    for row in rows:
+        # regression guard at the achieved level: the batched kernel
+        # must keep beating per-source on every recorded workload
+        assert row["speedup"] >= 1.2, (
+            f"batched kernel regressed on {row['graph']}: "
+            f"{row['speedup']}x (baseline ~1.5-1.9x)"
+        )
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        base_rows = {r["graph"]: r for r in baseline["workloads"]}
+        for row in rows:
+            base = base_rows.get(row["graph"])
+            if base is None:
+                continue
+            assert row["speedup"] >= 0.5 * base["speedup"], (
+                f"{row['graph']}: speedup {row['speedup']}x fell to less "
+                f"than half the committed baseline {base['speedup']}x"
+            )

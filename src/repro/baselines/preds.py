@@ -28,8 +28,18 @@ def preds_bc(
     *,
     workers: int = 1,
     counter: Optional[WorkCounter] = None,
+    batch_size=None,
 ) -> np.ndarray:
-    """Exact BC with stored predecessor arcs (Bader–Madduri)."""
+    """Exact BC with stored predecessor arcs (Bader–Madduri).
+
+    ``batch_size`` routes the run through the multi-source batched
+    kernel (the predecessor arcs are shared per level across the
+    batch); composes with ``workers``.
+    """
     return run_per_source(
-        graph, mode="arcs", workers=workers, counter=counter
+        graph,
+        mode="arcs",
+        workers=workers,
+        counter=counter,
+        batch_size=batch_size,
     )

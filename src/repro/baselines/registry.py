@@ -37,6 +37,11 @@ def _treefold(graph: CSRGraph, **kwargs) -> np.ndarray:
     return treefold_bc(graph, **kwargs)
 
 
+def _batched(graph: CSRGraph, **kwargs) -> np.ndarray:
+    kwargs.setdefault("batch_size", "auto")
+    return brandes_bc(graph, **kwargs)
+
+
 #: Paper table name -> callable(graph, **kwargs) -> scores.
 ALGORITHMS: Dict[str, Callable[..., np.ndarray]] = {
     "serial": brandes_bc,
@@ -47,10 +52,12 @@ ALGORITHMS: Dict[str, Callable[..., np.ndarray]] = {
     "async": async_bc,
     "hybrid": hybrid_bc,
     # extension comparators (not Table-2 columns): the paper's
-    # related-work algebraic method [23] and the BADIOS-style
-    # pendant-tree contraction generalising APGRE's gamma elimination
+    # related-work algebraic method [23], the BADIOS-style
+    # pendant-tree contraction generalising APGRE's gamma elimination,
+    # and Brandes over the multi-source batched kernel
     "algebraic": algebraic_bc,
     "treefold": _treefold,
+    "batched": _batched,
 }
 
 

@@ -32,6 +32,23 @@ from repro._version import __version__
 __all__ = ["main", "build_parser"]
 
 
+def _parse_batch_size(value: str):
+    """argparse type for ``--batch-size``: 'auto' or a positive int."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {parsed}"
+        )
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-bc`` argument parser (exposed for the tests)."""
     parser = argparse.ArgumentParser(
@@ -79,6 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fallback",
         action="store_true",
         help="fail fast instead of degrading to serial execution",
+    )
+    p_compute.add_argument(
+        "--batch-size",
+        type=_parse_batch_size,
+        default=None,
+        metavar="N|auto",
+        help="advance N sources at once through the multi-source "
+        "batched kernel ('auto' sizes batches from the graph and "
+        "available memory; supported by APGRE, serial, preds and "
+        "batched)",
     )
 
     p_part = sub.add_parser("partition", help="decomposition statistics")
@@ -170,6 +197,15 @@ def _cmd_compute(args) -> int:
             "max_retries": args.max_retries,
             "fallback": not args.no_fallback,
         }
+    if args.batch_size is not None:
+        if args.algorithm not in ("APGRE", "serial", "preds", "batched"):
+            print(
+                f"repro-bc: error: --batch-size is not supported by "
+                f"{args.algorithm!r} (use APGRE, serial, preds or batched)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["batch_size"] = args.batch_size
     scores = fn(graph, **kwargs)
     k = min(args.top, graph.n)
     order = np.argsort(-scores)[:k]

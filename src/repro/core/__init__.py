@@ -15,6 +15,7 @@
 from repro.core.config import APGREConfig
 from repro.core.result import APGREStats, BCResult, PhaseTimings
 from repro.core.bc_subgraph import bc_subgraph
+from repro.core.batched_subgraph import bc_subgraph_batched
 from repro.core.apgre import apgre_bc, apgre_bc_detailed
 from repro.core.treefold import treefold_bc, peel_pendant_trees
 from repro.core.weighted_apgre import weighted_apgre_bc
@@ -25,6 +26,7 @@ __all__ = [
     "BCResult",
     "PhaseTimings",
     "bc_subgraph",
+    "bc_subgraph_batched",
     "apgre_bc",
     "apgre_bc_detailed",
     "treefold_bc",

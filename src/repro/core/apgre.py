@@ -62,12 +62,18 @@ def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
     else:
         all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
     return index, bc_subgraph(
-        sg, eliminate_pendants=eliminate, roots=all_roots[lo:hi]
+        sg,
+        eliminate_pendants=eliminate,
+        roots=all_roots[lo:hi],
+        batch_size=state.get("batch_size"),
     )
 
 
 def _make_tasks(
-    subgraphs, eliminate_pendants: bool, workers: int
+    subgraphs,
+    eliminate_pendants: bool,
+    workers: int,
+    batch_size=None,
 ) -> List[Tuple[int, int, int]]:
     """Split sub-graphs into (index, root_lo, root_hi) chunks.
 
@@ -75,6 +81,9 @@ def _make_tasks(
     dominant top sub-graph does not serialise the pool (the paper gets
     the same effect from its fine-grained level); small sub-graphs stay
     whole. Tasks are returned largest-estimated-work first (LPT).
+    With an integer ``batch_size``, chunk boundaries are aligned to a
+    multiple of it so workers run full batches (``"auto"`` resolves
+    per sub-graph inside the worker and is left unaligned).
     """
     tasks: List[Tuple[int, int, int]] = []
     weights: List[float] = []
@@ -83,6 +92,11 @@ def _make_tasks(
         for sg in subgraphs
     )
     chunk_target = max(total_roots // max(2 * workers, 1), 1)
+    if isinstance(batch_size, int) and batch_size > 1:
+        chunk_target = max(
+            (chunk_target + batch_size - 1) // batch_size * batch_size,
+            batch_size,
+        )
     for idx, sg in enumerate(subgraphs):
         n_roots = sg.roots.size if eliminate_pendants else sg.num_vertices
         if n_roots == 0:
@@ -151,11 +165,15 @@ def apgre_bc_detailed(
     else:
         t0 = time.perf_counter()
         tasks = _make_tasks(
-            subgraphs, config.eliminate_pendants, config.workers
+            subgraphs,
+            config.eliminate_pendants,
+            config.workers,
+            batch_size=config.batch_size,
         )
         state = {
             "partition": partition,
             "eliminate_pendants": config.eliminate_pendants,
+            "batch_size": config.batch_size,
         }
         if config.parallel == "processes":
             health = RunHealth()
@@ -192,6 +210,7 @@ def _serial_pass(
             subgraphs[idx],
             eliminate_pendants=config.eliminate_pendants,
             counter=counter,
+            batch_size=config.batch_size,
         )
         elapsed = time.perf_counter() - t0
         if idx == 0:
@@ -265,13 +284,15 @@ def apgre_bc(
     timeout: Optional[float] = None,
     max_retries: int = 2,
     fallback: bool = True,
+    batch_size=None,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
     Equivalent to ``apgre_bc_detailed(graph, APGREConfig(...)).scores``;
     see :class:`repro.core.config.APGREConfig` for the options
     (``timeout``/``max_retries``/``fallback`` set the supervision
-    policy of ``parallel="processes"`` runs).
+    policy of ``parallel="processes"`` runs; ``batch_size`` routes
+    each sub-graph's roots through the multi-source batched kernel).
     """
     kwargs = dict(
         parallel=parallel,
@@ -281,6 +302,7 @@ def apgre_bc(
         timeout=timeout,
         max_retries=max_retries,
         fallback=fallback,
+        batch_size=batch_size,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

@@ -32,7 +32,7 @@ parked at unreachable articulation points.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -51,6 +51,7 @@ def bc_subgraph(
     eliminate_pendants: bool = True,
     counter: Optional[WorkCounter] = None,
     roots: Optional[np.ndarray] = None,
+    batch_size: Union[int, str, None] = None,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph (``BC_SGi`` of equation 7).
 
@@ -70,12 +71,28 @@ def bc_subgraph(
         how the process pool parallelises *within* a large sub-graph
         (the fine-grained level of the paper's two-level scheme,
         realised as source chunks).
+    batch_size:
+        ``None`` runs one root at a time (this function's own loop);
+        a positive int or ``"auto"`` delegates to the multi-source
+        kernel (:func:`repro.core.batched_subgraph.bc_subgraph_batched`),
+        which processes roots in ``(B, n)`` batches with identical
+        edge counting and float64-tolerance-identical scores.
 
     Returns
     -------
     Local score array (index by local vertex id; translate through
     ``sg.vertices`` to merge globally).
     """
+    if batch_size is not None:
+        from repro.core.batched_subgraph import bc_subgraph_batched
+
+        return bc_subgraph_batched(
+            sg,
+            eliminate_pendants=eliminate_pendants,
+            counter=counter,
+            roots=roots,
+            batch_size=batch_size,
+        )
     g = sg.graph
     n = g.n
     undirected = not g.directed

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.decompose.partition import DEFAULT_THRESHOLD
 from repro.errors import AlgorithmError
@@ -51,6 +51,12 @@ class APGREConfig:
         re-runs, and full-serial/Brandes rungs when the pool is
         unhealthy); ``False`` raises
         :class:`~repro.errors.ExecutionError` subclasses instead.
+    batch_size:
+        Route each sub-graph's root set through the multi-source
+        batched kernel (:mod:`repro.graph.batched`), ``batch_size``
+        sources at a time. ``None`` (default) keeps the per-source
+        kernel; ``"auto"`` sizes batches from the graph and available
+        memory; a positive int fixes the batch width.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -61,6 +67,7 @@ class APGREConfig:
     timeout: Optional[float] = None
     max_retries: int = 2
     fallback: bool = True
+    batch_size: Optional[Union[int, str]] = None
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -87,3 +94,15 @@ class APGREConfig:
             raise AlgorithmError(
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
+        if self.batch_size is not None:
+            if isinstance(self.batch_size, str):
+                if self.batch_size != "auto":
+                    raise AlgorithmError(
+                        "batch_size must be None, 'auto' or a positive "
+                        f"int, got {self.batch_size!r}"
+                    )
+            elif not isinstance(self.batch_size, int) or self.batch_size < 1:
+                raise AlgorithmError(
+                    "batch_size must be None, 'auto' or a positive "
+                    f"int, got {self.batch_size!r}"
+                )

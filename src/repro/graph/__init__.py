@@ -41,6 +41,16 @@ from repro.graph.traversal import (
     bfs_sigma,
     reverse_bfs_blocked,
 )
+from repro.graph.batched import (
+    BatchedBFSResult,
+    auto_batch_size,
+    batched_bc_scores,
+    batched_contributions,
+    bfs_sigma_batched,
+    resolve_batch_size,
+    spmm_available,
+    spmm_contributions,
+)
 
 __all__ = [
     "CSRGraph",
@@ -69,4 +79,12 @@ __all__ = [
     "bfs_levels",
     "bfs_sigma",
     "reverse_bfs_blocked",
+    "BatchedBFSResult",
+    "auto_batch_size",
+    "batched_bc_scores",
+    "batched_contributions",
+    "bfs_sigma_batched",
+    "resolve_batch_size",
+    "spmm_available",
+    "spmm_contributions",
 ]

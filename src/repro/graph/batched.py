@@ -1,0 +1,598 @@
+"""Batched multi-source level-synchronous traversal kernels.
+
+:func:`repro.graph.traversal.bfs_sigma` advances one source at a time,
+so every BFS level pays fixed numpy dispatch overhead on frontiers that
+are often tiny (deep road networks spend most of their time in that
+overhead).  This module runs a *batch* of ``B`` sources simultaneously
+through ``(B, n)`` ``dist``/``sigma`` matrices: each level is one
+shared CSR gather over the union frontier plus one ``np.add.at``
+scatter keyed by the flattened ``(batch_row, vertex)`` index, so
+per-level work is a single large vectorised operation instead of ``B``
+small ones — the "process many roots concurrently" formulation of the
+multi-GPU BC literature (Bernaschi et al.) mapped onto numpy.
+
+Per-source results are bit-identical to :func:`bfs_sigma`: a frontier
+pair ``(row, v)`` expands exactly the arcs the serial BFS of source
+``sources[row]`` would expand at that level, so distances, σ counts,
+shortest-path-DAG arcs *and the examined-edge tally* all match the
+serial kernel — batching changes only how the work is grouped.
+
+DAG arcs are recorded per level as flattened ``row * n + vertex``
+indices (the paper's predecessor-list / ``"arcs"`` strategy), which the
+backward sweeps replay directly against the flattened ``(B, n)``
+dependency matrices.
+
+Two kernels implement the batched contraction:
+
+* the pure-numpy ``"arcs"`` kernel above (always available, per-row
+  bit-identical to serial), and
+* an ``"spmm"`` kernel that expresses each level as one C-compiled
+  sparse matrix product (``frontier · A`` forward, ``weights · Aᵀ``
+  backward) via :mod:`scipy.sparse`, moving the per-arc expansion,
+  deduplication and σ summation out of numpy dispatch entirely.  It is
+  the default for score computation when scipy is importable; scores
+  agree with the per-source path to float64 tolerance and the examined
+  -edge tally is still identical (counted runs carry the arc
+  multiplicities in the imaginary part of a complex matmul).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.types import SCORE_DTYPE
+
+try:  # optional C backend for the SpMM kernel ("stub or gate" policy)
+    from scipy.sparse import _sparsetools as _spmm_tools
+except ImportError:  # pragma: no cover - scipy absent in minimal envs
+    _spmm_tools = None
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "BatchedBFSResult",
+    "available_memory_bytes",
+    "auto_batch_size",
+    "resolve_batch_size",
+    "bfs_sigma_batched",
+    "arc_segments",
+    "accumulate_dependencies_batched",
+    "batched_contributions",
+    "batched_bc_scores",
+    "spmm_available",
+    "spmm_contributions",
+]
+
+#: Upper bound on the ``auto`` heuristic: past ~this point the per-level
+#: scatters are large enough that dispatch overhead is already amortised
+#: and bigger batches only grow the ``(B, n)`` working set past cache.
+DEFAULT_MAX_BATCH = 128
+
+# Rough per-batch-row memory model used by the ``auto`` heuristic:
+# dist (int32) + sigma (float64) + up to three dependency matrices
+# (float64) per vertex, and two flattened int64 DAG-arc arrays plus
+# gather temporaries per arc.
+_BYTES_PER_ROW_VERTEX = 44
+_BYTES_PER_ROW_ARC = 20
+
+
+def available_memory_bytes() -> int:
+    """Best-effort available physical memory (fallback: 1 GiB)."""
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        return os.sysconf("SC_AVPHYS_PAGES") * os.sysconf("SC_PAGE_SIZE")
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        return 1 << 30
+
+
+def auto_batch_size(
+    n: int,
+    m: int,
+    *,
+    available_bytes: Optional[int] = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> int:
+    """Pick a batch size whose ``(B, n)`` buffers stay RAM-safe.
+
+    Budgets a quarter of available memory (capped at 2 GiB) against a
+    conservative per-row estimate of ``44·n + 20·m`` bytes (state
+    matrices plus recorded DAG arcs), clamped to ``[1, max_batch]``.
+    """
+    if n <= 0:
+        return 1
+    if available_bytes is None:
+        available_bytes = available_memory_bytes()
+    budget = min(available_bytes // 4, 2 << 30)
+    per_row = _BYTES_PER_ROW_VERTEX * n + _BYTES_PER_ROW_ARC * max(m, 1)
+    return int(max(1, min(budget // per_row, max_batch)))
+
+
+def resolve_batch_size(
+    batch_size: Union[int, str, None], n: int, m: int
+) -> Optional[int]:
+    """Normalise a ``batch_size`` option to an int (or ``None``).
+
+    ``None`` means "per-source path" and passes through; ``"auto"``
+    resolves via :func:`auto_batch_size` for the given graph size; a
+    positive int is validated and returned.
+    """
+    if batch_size is None:
+        return None
+    if isinstance(batch_size, str):
+        if batch_size == "auto":
+            return auto_batch_size(n, m)
+        raise AlgorithmError(
+            f"batch_size must be 'auto', a positive int or None, "
+            f"got {batch_size!r}"
+        )
+    b = int(batch_size)
+    if b < 1:
+        raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
+    return b
+
+
+@dataclass
+class BatchedBFSResult:
+    """Phase-1 output for a batch of sources (the 2D ``BFSResult``).
+
+    Attributes
+    ----------
+    sources:
+        The batch's BFS roots, one per row.
+    dist:
+        ``(B, n)`` int32 distances; row ``i`` equals the serial
+        ``bfs_sigma(g, sources[i]).dist``.
+    sigma:
+        ``(B, n)`` float64 shortest-path counts, likewise per row.
+    level_arcs:
+        When requested, ``level_arcs[d]`` holds the shortest-path-DAG
+        arcs from distance ``d`` to ``d + 1`` across the whole batch,
+        as flattened ``(row * n + src, row * n + dst)`` index pairs —
+        ready to replay against flattened ``(B, n)`` matrices.
+    edges_traversed:
+        Arcs examined, summed over the batch; equals the sum of the
+        serial per-source tallies.
+    """
+
+    sources: np.ndarray
+    dist: np.ndarray
+    sigma: np.ndarray
+    level_arcs: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
+    edges_traversed: int = 0
+
+    @property
+    def batch(self) -> int:
+        """Number of sources in the batch."""
+        return self.dist.shape[0]
+
+    @property
+    def depth(self) -> int:
+        """Maximum eccentricity across the batch's sources."""
+        return int(self.dist.max(initial=0))
+
+    def reached(self) -> np.ndarray:
+        """``(B, n)`` mask of vertices reachable from each source."""
+        return self.dist >= 0
+
+
+def bfs_sigma_batched(
+    graph: CSRGraph,
+    sources,
+    *,
+    keep_level_arcs: bool = False,
+) -> BatchedBFSResult:
+    """Forward BFS with σ counting for a whole batch of sources.
+
+    One level step gathers the out-arcs of every ``(row, vertex)``
+    frontier pair at once and scatters σ contributions through the
+    flattened ``(B, n)`` index space, amortising the per-level kernel
+    launches across the batch.  Rows are fully independent: a row whose
+    BFS has terminated simply contributes no frontier pairs.
+    """
+    n = graph.n
+    srcs = np.asarray(sources, dtype=np.int64).ravel()
+    b = srcs.size
+    if b == 0:
+        raise AlgorithmError("batched BFS needs at least one source")
+    # flattened (row, vertex) indices live in [0, b*n); the narrow
+    # dtype keeps the per-level sort/gather traffic at half width
+    fdtype = np.int32 if b * n <= np.iinfo(np.int32).max else np.int64
+    dist = np.full((b, n), -1, dtype=np.int32)
+    sigma = np.zeros((b, n), dtype=SCORE_DTYPE)
+    dist_flat = dist.reshape(-1)
+    sigma_flat = sigma.reshape(-1)
+    rows0 = np.arange(b, dtype=np.int64)
+    # sorted ascending (one pair per row) — and every later frontier is
+    # a np.unique output, so the sortedness invariant holds throughout
+    frontier = (rows0 * n + srcs).astype(fdtype)
+    dist_flat[frontier] = 0
+    sigma_flat[frontier] = 1.0
+    level_arcs: Optional[List[Tuple[np.ndarray, np.ndarray]]] = (
+        [] if keep_level_arcs else None
+    )
+    indptr, indices = graph.out_indptr, graph.out_indices
+    # hoisted per-call: CSR metadata in the narrow dtype (arc positions
+    # index `indices`, so they fit whenever m does) and a reusable
+    # iota buffer so the hot loop never re-materialises an arange
+    m = indices.size
+    pdtype = np.int64 if m > np.iinfo(np.int32).max else np.int32
+    indptr_n = indptr.astype(pdtype, copy=False)
+    deg = (indptr[1:] - indptr[:-1]).astype(pdtype, copy=False)
+    iota = np.arange(min(m, 1024) or 1, dtype=pdtype)
+    edges = 0
+    level = 0
+    while frontier.size:
+        # shared CSR gather over the union frontier (cf. expand_frontier)
+        verts = frontier % n
+        starts = indptr_n[verts]
+        counts = deg[verts]
+        total = int(counts.sum(dtype=np.int64))
+        edges += total
+        if total > np.iinfo(pdtype).max:  # pragma: no cover - huge level
+            pdtype = np.int64
+            indptr_n = indptr.astype(np.int64, copy=False)
+            deg = deg.astype(np.int64)
+            iota = np.arange(total, dtype=np.int64)
+            starts = indptr_n[verts]
+            counts = deg[verts]
+        if total == 0:
+            empty = np.empty(0, dtype=fdtype)
+            if level_arcs is not None:
+                level_arcs.append((empty, empty))
+            break
+        if total > iota.size:
+            iota = np.arange(total, dtype=pdtype)
+        # arc positions: per-pair run starts shifted into one iota span
+        cum = np.cumsum(counts)
+        pos = iota[:total] + np.repeat(starts - cum + counts, counts)
+        dst = indices[pos]
+        flat_src = np.repeat(frontier, counts)
+        flat_dst = np.repeat(frontier - verts, counts) + dst
+        # an arc is a tree arc iff its head is undiscovered before this
+        # level (a head at dist == level+1 can only have got there now)
+        dmask = dist_flat[flat_dst] < 0
+        t_src = flat_src[dmask]
+        t_dst = flat_dst[dmask]
+        if t_dst.size:
+            nxt, inv = np.unique(t_dst, return_inverse=True)
+            dist_flat[nxt] = level + 1
+            # fresh vertices carry sigma == 0, so the per-bin ordered
+            # sum equals the serial np.add.at bit for bit
+            sigma_flat[nxt] = np.bincount(
+                inv, weights=sigma_flat[t_src], minlength=nxt.size
+            )
+        else:
+            nxt = np.empty(0, dtype=fdtype)
+        if level_arcs is not None:
+            level_arcs.append((t_src, t_dst))
+        if nxt.size == 0:
+            break
+        frontier = nxt
+        level += 1
+    return BatchedBFSResult(
+        sources=srcs,
+        dist=dist,
+        sigma=sigma,
+        level_arcs=level_arcs,
+        edges_traversed=edges,
+    )
+
+
+def arc_segments(flat_src: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Segment a level's (sorted) arc tails into per-vertex runs.
+
+    Level arcs recorded by :func:`bfs_sigma_batched` are ordered by
+    flattened tail index (the frontier is sorted and CSR expansion
+    preserves it), so each tail's arcs form one contiguous run.
+    Returns ``(unique_tails, run_start_offsets)`` — the inputs
+    ``np.add.reduceat`` needs to replace a ``np.add.at`` scatter with
+    one ordered segmented sum (same additions, same order, ~10x less
+    per-element overhead).
+    """
+    seg = np.empty(flat_src.size, dtype=bool)
+    seg[0] = True
+    np.not_equal(flat_src[1:], flat_src[:-1], out=seg[1:])
+    starts = np.flatnonzero(seg)
+    return flat_src[starts], starts
+
+
+def accumulate_dependencies_batched(
+    res: BatchedBFSResult,
+    *,
+    counter=None,
+) -> np.ndarray:
+    """Batched backward phase: δ_s(v) for every source in the batch.
+
+    Replays the recorded DAG arcs deepest level first (the ``"arcs"``
+    accumulation strategy), with one gather/segmented-sum per level for
+    the whole batch.  Returns a ``(B, n)`` dependency matrix whose row
+    ``i`` equals the serial ``accumulate_dependencies(..., mode="arcs")``
+    for ``sources[i]``; the examined-edge tally matches it too.
+    """
+    if res.level_arcs is None:
+        raise AlgorithmError(
+            "batched dependency accumulation needs keep_level_arcs=True"
+        )
+    delta_flat = np.zeros(res.dist.size, dtype=SCORE_DTYPE)
+    sigma_flat = res.sigma.reshape(-1)
+    for flat_src, flat_dst in reversed(res.level_arcs):
+        if counter is not None:
+            counter.add(flat_src.size)
+        if flat_src.size == 0:
+            continue
+        coef = sigma_flat[flat_src] / sigma_flat[flat_dst]
+        tails, runs = arc_segments(flat_src)
+        # a vertex only receives contributions at its own level, so
+        # delta[tails] is still zero here and the segmented sum equals
+        # the serial np.add.at accumulation bit for bit
+        delta_flat[tails] = np.add.reduceat(
+            coef * (1.0 + delta_flat[flat_dst]), runs
+        )
+    return delta_flat.reshape(res.dist.shape)
+
+
+def spmm_available() -> bool:
+    """True when scipy's C sparse-matmul backend is importable."""
+    return _spmm_tools is not None
+
+
+_I32_MAX = np.iinfo(np.int32).max
+
+
+class _SpmmOperands:
+    """CSR matmul operands (A, Aᵀ, degrees) shared across chunks.
+
+    ``scipy.sparse._sparsetools.csr_matmat`` dispatches on one index
+    dtype for every operand, so the arrays are materialised once per
+    BC run in the narrowest dtype the worst-case level expansion
+    (``B * m`` candidate arcs) allows.  For undirected graphs the
+    stored arc set is symmetric and the backward operand aliases the
+    forward one.
+    """
+
+    __slots__ = ("idx", "fwd", "bwd", "deg_fwd", "deg_bwd", "_ones_c")
+
+    def __init__(self, graph: CSRGraph, idx=np.int32):
+        self.idx = np.dtype(idx)
+        ones = np.ones(graph.num_arcs, dtype=SCORE_DTYPE)
+        self.fwd = (
+            graph.out_indptr.astype(self.idx, copy=False),
+            graph.out_indices.astype(self.idx, copy=False),
+            ones,
+        )
+        self.deg_fwd = np.diff(graph.out_indptr).astype(np.int64)
+        if graph.directed:
+            self.bwd = (
+                graph.in_indptr.astype(self.idx, copy=False),
+                graph.in_indices.astype(self.idx, copy=False),
+                ones,
+            )
+            self.deg_bwd = np.diff(graph.in_indptr).astype(np.int64)
+        else:
+            self.bwd = self.fwd
+            self.deg_bwd = self.deg_fwd
+        self._ones_c: Optional[np.ndarray] = None
+
+    def fwd_complex(self):
+        """Forward operand with complex data (for counted runs)."""
+        if self._ones_c is None:
+            self._ones_c = np.ones(self.fwd[2].size, dtype=np.complex128)
+        return self.fwd[0], self.fwd[1], self._ones_c
+
+
+def _spmm_operands_for(graph: CSRGraph, batch: int) -> "_SpmmOperands":
+    """Operands wide enough for ``batch``-row level expansions."""
+    wide = batch * max(int(graph.num_arcs), 1) > _I32_MAX
+    return _SpmmOperands(graph, np.int64 if wide else np.int32)
+
+
+def spmm_contributions(
+    graph: CSRGraph,
+    sources,
+    *,
+    counter=None,
+    operands: Optional["_SpmmOperands"] = None,
+) -> np.ndarray:
+    """Summed BC contributions of one batch via sparse matmuls.
+
+    Each forward level is one CSR product ``F · A`` where row ``i`` of
+    ``F`` holds σ over row ``i``'s frontier: the C kernel expands,
+    deduplicates and σ-sums every candidate arc in a single call, and
+    the output is pre-sized by the frontier degree sum (exactly the
+    serial examined-edge tally, so no sizing pass is needed).  Fresh
+    vertices are those still undiscovered in ``dist``; their per-row
+    survivor counts (a cumsum of the mask sampled at the row bounds)
+    become the next frontier's indptr without any sort.  The backward
+    sweep mirrors it: one ``W · Aᵀ`` product per level with
+    ``W = (1 + δ)/σ`` over the deeper frontier, masked to the vertices
+    one level up — δ lands in the same level order as the serial
+    ``"arcs"`` replay, differing only in summation association, so
+    scores match within float64 tolerance.
+
+    With ``counter`` the matmul runs on complex data whose imaginary
+    part carries per-arc multiplicities: summing it over fresh
+    candidates recovers the shortest-path-DAG arc count, making the
+    tally (forward examinations + DAG replays) *identical* to the
+    serial per-source path at the cost of one wider product.
+    """
+    if _spmm_tools is None:
+        raise AlgorithmError(
+            "the SpMM batched kernel needs scipy; use kernel='arcs'"
+        )
+    srcs = np.asarray(sources, dtype=np.int64).ravel()
+    b = srcs.size
+    if b == 0:
+        raise AlgorithmError("batched BFS needs at least one source")
+    n = graph.n
+    ops = operands
+    if ops is None or (
+        ops.idx == np.int32 and b * max(graph.num_arcs, 1) > _I32_MAX
+    ):
+        ops = _spmm_operands_for(graph, b)
+    idx = ops.idx
+    counted = counter is not None
+    fdtype = np.int32 if b * n <= _I32_MAX else np.int64
+    dist = np.full(b * n, -1, dtype=np.int32)
+    sigma = np.zeros(b * n, dtype=SCORE_DTYPE)
+    rows = np.arange(b, dtype=np.int64)
+    # flattened row bases pre-multiplied once: candidate indices then
+    # need a single add per arc instead of a multiply-add
+    rowbase = (rows * n).astype(fdtype)
+    flat = (rows * n + srcs).astype(fdtype)
+    dist[flat] = 0
+    sigma[flat] = 1.0
+    cols = srcs.astype(idx)
+    fp = np.arange(b + 1, dtype=idx)
+    if counted:
+        ap, aj, ax = ops.fwd_complex()
+        vals: np.ndarray = np.full(b, 1.0 + 1.0j, dtype=np.complex128)
+    else:
+        ap, aj, ax = ops.fwd
+        vals = np.ones(b, dtype=SCORE_DTYPE)
+    levels = [(flat, cols, fp, vals)]
+    edges = 0
+    dag_arcs = 0
+    level = 0
+    while True:
+        bound = int(ops.deg_fwd[cols].sum(dtype=np.int64))
+        edges += bound
+        if bound == 0:
+            break
+        cp = np.empty(b + 1, dtype=idx)
+        cj = np.empty(bound, dtype=idx)
+        cx = np.empty(bound, dtype=vals.dtype)
+        _spmm_tools.csr_matmat(b, n, fp, cols, vals, ap, aj, ax, cp, cj, cx)
+        nnz = int(cp[b])
+        cand = np.repeat(rowbase, np.diff(cp))
+        cand += cj[:nnz]
+        fresh = dist[cand] < 0
+        flat = cand[fresh]
+        if flat.size == 0:
+            break
+        cols = cj[:nnz][fresh]
+        vals = cx[:nnz][fresh]
+        # next frontier indptr: per-row survivor counts via one cumsum
+        # sampled at the candidate row bounds (empty rows collapse)
+        cum = np.empty(nnz + 1, dtype=idx)
+        cum[0] = 0
+        np.cumsum(fresh, dtype=idx, out=cum[1:])
+        fp = cum[cp]
+        level += 1
+        dist[flat] = level
+        if counted:
+            sig = np.ascontiguousarray(vals.real)
+            dag_arcs += int(round(vals.imag.sum()))
+            sigma[flat] = sig
+            vals = sig + 1.0j
+        else:
+            sigma[flat] = vals
+        levels.append((flat, cols, fp, vals))
+    if counted:
+        counter.add(edges)
+        counter.add(dag_arcs)
+    # backward: one (B, n) · Aᵀ product per level, deepest first
+    delta = np.zeros(b * n, dtype=SCORE_DTYPE)
+    bp, bj, bx = ops.bwd
+    for lvl in range(len(levels) - 1, 0, -1):
+        flat, cols, fp, vals = levels[lvl]
+        sig = np.ascontiguousarray(vals.real) if counted else vals
+        w = (1.0 + delta[flat]) / sig
+        bound = int(ops.deg_bwd[cols].sum(dtype=np.int64))
+        if bound == 0:
+            continue
+        cp = np.empty(b + 1, dtype=idx)
+        cj = np.empty(bound, dtype=idx)
+        cx = np.empty(bound, dtype=SCORE_DTYPE)
+        _spmm_tools.csr_matmat(b, n, fp, cols, w, bp, bj, bx, cp, cj, cx)
+        nnz = int(cp[b])
+        cand = np.repeat(rowbase, np.diff(cp))
+        cand += cj[:nnz]
+        up = dist[cand] == lvl - 1
+        tgt = cand[up]
+        # a vertex collects its whole δ at its own level (candidates
+        # one level up are unique per row), so this is an assignment
+        delta[tgt] = sigma[tgt] * cx[:nnz][up]
+    delta2 = delta.reshape(b, n)
+    delta2[rows, srcs] = 0.0
+    return delta2.sum(axis=0)
+
+
+def batched_contributions(
+    graph: CSRGraph,
+    sources,
+    *,
+    counter=None,
+    kernel: Optional[str] = None,
+) -> np.ndarray:
+    """Summed BC contributions of one batch of sources.
+
+    Forward + backward batched kernels, source self-dependencies
+    zeroed, rows summed — the batched equivalent of accumulating
+    ``per_source_delta(graph, s, mode="arcs")`` over the batch.
+
+    ``kernel`` picks the implementation: ``"spmm"`` (scipy sparse
+    matmul levels), ``"arcs"`` (pure-numpy flattened scatters, per-row
+    bit-identical to serial), or ``None`` to use SpMM whenever scipy
+    is available.  Both produce the serial examined-edge tally.
+    """
+    if kernel is None:
+        kernel = "spmm" if spmm_available() else "arcs"
+    if kernel == "spmm":
+        return spmm_contributions(graph, sources, counter=counter)
+    if kernel != "arcs":
+        raise AlgorithmError(f"unknown batched kernel {kernel!r}")
+    srcs = np.asarray(sources, dtype=np.int64).ravel()
+    res = bfs_sigma_batched(graph, srcs, keep_level_arcs=True)
+    if counter is not None:
+        counter.add(res.edges_traversed)
+    delta = accumulate_dependencies_batched(res, counter=counter)
+    delta[np.arange(srcs.size), srcs] = 0.0
+    return delta.sum(axis=0)
+
+
+def batched_bc_scores(
+    graph: CSRGraph,
+    sources,
+    *,
+    batch: int,
+    counter=None,
+    kernel: Optional[str] = None,
+) -> np.ndarray:
+    """BC contribution sum over ``sources``, ``batch`` roots at a time.
+
+    The chunk loop behind ``run_per_source(..., batch_size=...)``:
+    shares one set of SpMM operands (A, Aᵀ, degree arrays) across all
+    chunks so per-chunk setup is amortised over the whole run.
+    """
+    src_arr = np.asarray(list(sources), dtype=np.int64).ravel()
+    bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
+    if src_arr.size == 0:
+        return bc
+    if kernel is None:
+        kernel = "spmm" if spmm_available() else "arcs"
+    if kernel == "spmm":
+        ops = _spmm_operands_for(graph, min(batch, src_arr.size))
+        for lo in range(0, src_arr.size, batch):
+            bc += spmm_contributions(
+                graph,
+                src_arr[lo : lo + batch],
+                counter=counter,
+                operands=ops,
+            )
+        return bc
+    for lo in range(0, src_arr.size, batch):
+        bc += batched_contributions(
+            graph, src_arr[lo : lo + batch], counter=counter, kernel=kernel
+        )
+    return bc

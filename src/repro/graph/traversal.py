@@ -46,14 +46,22 @@ def expand_frontier(
     ``src`` in the frontier, duplicates included. This is the single
     hot primitive of the package; it contains no Python-level loop.
     """
+    ends = indptr[frontier + 1]
     starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
+    counts = ends - starts
     total = int(counts.sum())
     if total == 0:
         empty = np.empty(0, dtype=VERTEX_DTYPE)
         return empty, empty
+    # arange in the narrow vertex dtype while the arc block fits (per-
+    # vertex offsets are bounded by the max degree); int64 otherwise
+    offset_dtype = (
+        VERTEX_DTYPE if total <= np.iinfo(VERTEX_DTYPE).max else np.int64
+    )
     cum = np.cumsum(counts)
-    offsets = np.arange(total) - np.repeat(cum - counts, counts)
+    offsets = np.arange(total, dtype=offset_dtype) - np.repeat(
+        cum - counts, counts
+    )
     dst = indices[np.repeat(starts, counts) + offsets]
     src = np.repeat(frontier, counts).astype(VERTEX_DTYPE, copy=False)
     return dst, src
@@ -217,6 +225,7 @@ def bfs_sigma_hybrid(
             hit = dist[parents] == level
             np.add.at(sigma, cand[hit], sigma[parents[hit]])
             nxt = np.unique(cand[hit])
+            dist[nxt] = level + 1
             if level_arcs is not None:
                 level_arcs.append((parents[hit], cand[hit]))
         else:
@@ -231,7 +240,6 @@ def bfs_sigma_hybrid(
                 level_arcs.append((src[tree], dst[tree]))
         if nxt.size == 0:
             break
-        dist[nxt] = level + 1
         levels.append(nxt)
         frontier = nxt
         unvisited = unvisited[dist[unvisited] < 0]

@@ -13,7 +13,14 @@ from __future__ import annotations
 from repro.errors import BenchmarkError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["teps", "mteps", "graph_teps", "graph_mteps"]
+__all__ = [
+    "teps",
+    "mteps",
+    "graph_teps",
+    "graph_mteps",
+    "examined_teps",
+    "examined_mteps",
+]
 
 
 def teps(n: int, m: int, seconds: float) -> float:
@@ -36,3 +43,25 @@ def graph_teps(graph: CSRGraph, seconds: float) -> float:
 def graph_mteps(graph: CSRGraph, seconds: float) -> float:
     """MTEPS with n/m taken from the graph."""
     return graph_teps(graph, seconds) / 1e6
+
+
+def examined_teps(edges_examined: int, seconds: float) -> float:
+    """Rate over edges a kernel *actually* examined (WorkCounter.edges).
+
+    Unlike :func:`teps` this is not the normalised n·m credit — it
+    measures raw kernel throughput, which is what the batched
+    multi-source kernel improves (same edge tally, less per-level
+    overhead).
+    """
+    if seconds <= 0:
+        raise BenchmarkError(f"elapsed time must be positive, got {seconds}")
+    if edges_examined < 0:
+        raise BenchmarkError(
+            f"edges_examined must be >= 0, got {edges_examined}"
+        )
+    return edges_examined / seconds
+
+
+def examined_mteps(edges_examined: int, seconds: float) -> float:
+    """Millions of examined edges per second."""
+    return examined_teps(edges_examined, seconds) / 1e6

@@ -132,17 +132,15 @@ def thread_map(
 # source-parallel BC (used by the baselines' ``workers=`` option)
 # ----------------------------------------------------------------------
 def _bc_source_chunk(chunk: Sequence[int]) -> np.ndarray:
-    from repro.baselines.common import per_source_delta
+    from repro.baselines.common import run_per_source
 
-    graph: CSRGraph = _STATE["graph"]
-    mode: str = _STATE["mode"]
-    forward = _STATE["forward"]
-    bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
-    for s in chunk:
-        delta = per_source_delta(graph, int(s), mode=mode, forward=forward)
-        delta[s] = 0.0
-        bc += delta
-    return bc
+    return run_per_source(
+        _STATE["graph"],
+        sources=chunk,
+        mode=_STATE["mode"],
+        forward=_STATE["forward"],
+        batch_size=_STATE.get("batch_size"),
+    )
 
 
 def map_sources_bc(
@@ -154,6 +152,7 @@ def map_sources_bc(
     workers: int,
     supervisor: Optional["SupervisorConfig"] = None,
     health: Optional["RunHealth"] = None,
+    batch_size=None,
 ) -> np.ndarray:
     """Sum per-source BC contributions across a supervised process pool.
 
@@ -163,7 +162,10 @@ def map_sources_bc(
     ``supervisor`` sets the fault-tolerance policy (default: no
     timeout, 2 retries, serial fallback); pass a
     :class:`~repro.parallel.supervisor.RunHealth` as ``health`` to
-    collect the supervision report.
+    collect the supervision report.  ``batch_size`` makes each worker
+    advance its chunk through the multi-source batched kernel
+    (requires ``mode="arcs"``; see
+    :func:`repro.baselines.common.run_per_source`).
     """
     from repro.parallel.supervisor import supervised_map
 
@@ -179,7 +181,12 @@ def map_sources_bc(
         _bc_source_chunk,
         chunks,
         workers=workers,
-        state={"graph": graph, "mode": mode, "forward": forward},
+        state={
+            "graph": graph,
+            "mode": mode,
+            "forward": forward,
+            "batch_size": batch_size,
+        },
         config=supervisor,
         health=health,
     )

@@ -186,6 +186,7 @@ class TestRegistry:
             "hybrid",
             "algebraic",
             "treefold",
+            "batched",
         }
 
     def test_get_algorithm(self):

@@ -415,3 +415,78 @@ class TestBenchRunnerDegradation:
         assert runner._env_timeout() == 2.5
         monkeypatch.delenv("REPRO_BENCH_TIMEOUT")
         assert runner._env_timeout() is None
+
+
+class TestBatchedUnderFaults:
+    """The batched kernel rides the same degradation ladder: a crashed
+    batched worker is retried/degraded and scores stay identical to a
+    clean batched run (and to serial APGRE)."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return from_networkx(nx.gnm_random_graph(45, 80, seed=13), n=45)
+
+    @pytest.fixture(scope="class")
+    def serial_scores(self, graph):
+        return apgre_bc_detailed(graph, APGREConfig()).scores
+
+    @pytest.fixture(scope="class")
+    def clean_batched(self, graph):
+        return apgre_bc_detailed(
+            graph,
+            APGREConfig(parallel="processes", workers=2, batch_size=4),
+        )
+
+    def test_clean_batched_matches_serial(
+        self, clean_batched, serial_scores
+    ):
+        np.testing.assert_allclose(
+            clean_batched.scores, serial_scores, rtol=1e-9, atol=1e-9
+        )
+        assert clean_batched.health is not None
+        assert clean_batched.health.ok
+
+    def test_batched_worker_crash_bit_identical(
+        self, graph, clean_batched, serial_scores
+    ):
+        with injected_faults(FaultSpec("kill", task=0)):
+            res = apgre_bc_detailed(
+                graph,
+                APGREConfig(
+                    parallel="processes", workers=2, batch_size=4
+                ),
+            )
+        assert np.array_equal(res.scores, clean_batched.scores)
+        np.testing.assert_allclose(
+            res.scores, serial_scores, rtol=1e-9, atol=1e-9
+        )
+        assert res.health.worker_crashes == 1
+        assert res.health.degraded
+
+    def test_batched_crash_exhausting_retries_degrades_serially(
+        self, graph, clean_batched
+    ):
+        with injected_faults(FaultSpec("kill", task=1, attempts=ALWAYS)):
+            res = apgre_bc_detailed(
+                graph,
+                APGREConfig(
+                    parallel="processes",
+                    workers=2,
+                    batch_size=4,
+                    max_retries=1,
+                ),
+            )
+        assert np.array_equal(res.scores, clean_batched.scores)
+        assert res.health.serial_retries == 1
+
+    def test_batched_source_parallel_crash(self, graph):
+        # the baselines' source-parallel pool rides the same ladder
+        from repro.baselines.brandes import brandes_bc
+        from repro.baselines.common import run_per_source
+
+        expected = brandes_bc(graph)
+        with injected_faults(FaultSpec("kill", task=0)):
+            got = run_per_source(
+                graph, mode="arcs", workers=2, batch_size=4
+            )
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,52 @@
+"""Tier-1 perf guard for the batched multi-source kernel.
+
+A deliberately loose wall-clock check: the batched kernel must never
+be *worse than twice as slow* as the per-source path it replaces.  The
+real perf trajectory lives in ``benchmarks/bench_batched_kernel.py``
+(marker ``benchmarks``) with committed numbers in
+``benchmarks/BENCH_baseline.json``; this test only makes a gross
+regression — a kernel change that silently falls off the fast path —
+fail loudly inside the default test run, with enough slack that CI
+noise on a loaded box cannot flake it.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import run_per_source
+from repro.generators.suite import analogue_graph
+
+
+def _best_of(fn, repeat=2):
+    best = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best_candidate = time.perf_counter() - t0
+        best = best_candidate if best is None else min(best, best_candidate)
+    return best
+
+
+@pytest.mark.timeout(120)
+def test_batched_not_grossly_slower_than_serial():
+    graph = analogue_graph("USA-roadBAY", scale=3.0)
+    rng = np.random.default_rng(7)
+    sources = np.sort(
+        rng.choice(graph.n, size=64, replace=False)
+    ).tolist()
+    t_serial = _best_of(
+        lambda: run_per_source(graph, sources=sources, mode="arcs")
+    )
+    t_batched = _best_of(
+        lambda: run_per_source(
+            graph, sources=sources, mode="arcs", batch_size="auto"
+        )
+    )
+    # 2x + absolute slack: timings on this graph are ~100s of ms, so a
+    # genuine fast-path regression (10x-ish) still trips the bound
+    assert t_batched <= 2.0 * t_serial + 0.25, (
+        f"batched kernel fell off the fast path: {t_batched:.3f}s vs "
+        f"serial {t_serial:.3f}s (allowed: 2x + 0.25s)"
+    )

@@ -54,6 +54,20 @@ class TestExpandFrontier:
         )
         assert dst.tolist() == [2, 2]
 
+    def test_pinned_output_on_fixture_graph(self):
+        # pins the exact arc ordering (CSR order per frontier vertex,
+        # frontier order preserved) and output dtypes, so the gather
+        # micro-optimisations cannot silently reorder the hot primitive
+        g = from_edges(
+            [(0, 3), (0, 1), (2, 0), (2, 4), (2, 1), (4, 0), (3, 2)],
+            directed=True,
+        )
+        frontier = np.asarray([2, 0, 4], dtype=np.int32)
+        dst, src = expand_frontier(g.out_indptr, g.out_indices, frontier)
+        assert dst.dtype == np.int32 and src.dtype == np.int32
+        assert src.tolist() == [2, 2, 2, 0, 0, 4]
+        assert dst.tolist() == [0, 1, 4, 1, 3, 0]
+
 
 class TestBFS:
     def test_distances_match_networkx(self, zoo_entry):
@@ -151,6 +165,21 @@ class TestHybridBFS:
         res = bfs_sigma_hybrid(g, 0, alpha=0.01)
         ref = bfs_sigma(g, 0)
         assert np.allclose(res.sigma, ref.sigma)
+
+    def test_directed_bottom_up_matches_plain_bfs(self):
+        # directed dense graphs exercise the bottom-up branch's own
+        # dist assignment (the top-down branch must not re-assign it)
+        nxg = nx.gnm_random_graph(40, 600, seed=17, directed=True)
+        g = from_networkx(nxg, n=40)
+        for s in range(0, 40, 7):
+            for alpha in (0.01, 1.0, 4.0):
+                a = bfs_sigma(g, s)
+                b = bfs_sigma_hybrid(g, s, alpha=alpha)
+                assert np.array_equal(a.dist, b.dist)
+                assert np.array_equal(a.sigma, b.sigma)
+                assert len(a.levels) == len(b.levels)
+                for la, lb in zip(a.levels, b.levels):
+                    assert np.array_equal(np.sort(la), np.sort(lb))
 
     def test_level_arcs_equivalent(self, und_random):
         a = bfs_sigma(und_random, 0, keep_level_arcs=True)
