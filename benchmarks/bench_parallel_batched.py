@@ -1,0 +1,237 @@
+"""Parallel-batched pool bench: serial batched vs the worker pool.
+
+The coarse-level companion to ``bench_batched_kernel.py``: the same
+two >= 50k-vertex suite graphs and fixed source sample, measuring the
+serial batched path (``batch_size="auto"``, its best configuration)
+against the persistent shared-memory pool
+(:mod:`repro.parallel.batched_pool`) at ``WORKERS`` workers with work
+stealing on.  The pooled run uses a fixed batch width that yields
+``~2 x WORKERS`` batches so the LPT/steal scheduler has something to
+schedule; scores are asserted against serial to 1e-9 and the
+WorkCounter edge tallies must match exactly.
+
+Every row also reports ``model_speedup`` — the work/critical-path
+bound ``sum(batch) / lpt_makespan(batch, WORKERS)`` from
+:mod:`repro.parallel.scheduler` — and the JSON embeds the environment
+provenance block, because the measured column is only meaningful next
+to the core count that produced it.
+
+Honest numbers note: the PR targeted >= 2.5x over serial batched at 4
+workers.  That is a multi-core number; on this repository's 1-CPU
+container the four workers timeshare one core and the measured speedup
+is ~1x minus fork/shared-memory overhead, so the 2.5x assertion is
+gated on ``available_workers() >= 4`` and the committed
+``BENCH_parallel.json`` records the single-core measurement plus the
+model column (see EXPERIMENTS.md on why the single-core host reports a
+model column at all).  The unconditional guards are correctness, exact
+tallies, and not falling below half the committed baseline.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import WorkCounter, run_per_source
+from repro.bench.persistence import environment_provenance
+from repro.bench.workloads import get_graph
+from repro.metrics.teps import examined_mteps
+from repro.parallel.pool import available_workers
+from repro.parallel.scheduler import lpt_makespan
+from repro.parallel.supervisor import RunHealth
+
+pytestmark = pytest.mark.benchmarks
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: (suite graph, scale, sources) — the BENCH_baseline.json workloads.
+WORKLOADS = [
+    ("USA-roadBAY", 10.5, 128),
+    ("WikiTalk", 49.0, 128),
+]
+QUICK_WORKLOADS = [
+    ("USA-roadBAY", 3.0, 32),
+]
+SEED = 42
+REPEAT = 2  # best-of: absorbs one-off scheduler noise
+WORKERS = 4
+QUICK_WORKERS = 2
+
+
+def _best_of(fn, repeat=REPEAT):
+    best = None
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def measure_workload(name, scale, n_sources, workers=WORKERS):
+    """One graph's serial-batched vs pooled measurement row."""
+    graph = get_graph(name, scale=scale)
+    rng = np.random.default_rng(SEED)
+    sources = np.sort(
+        rng.choice(graph.n, size=min(n_sources, graph.n), replace=False)
+    ).tolist()
+    # fixed pool batch width: ~2 batches per worker, so LPT placement
+    # and stealing have a schedule to work with (auto would often give
+    # one batch for the whole sample, leaving workers idle)
+    pool_batch = max(len(sources) // (2 * workers), 1)
+    n_batches = -(-len(sources) // pool_batch)
+    weights = [
+        min(pool_batch, len(sources) - lo)
+        for lo in range(0, len(sources), pool_batch)
+    ]
+
+    counter = WorkCounter()
+    run_per_source(
+        graph, sources=sources, mode="arcs", counter=counter,
+        batch_size="auto",
+    )
+    edges = counter.edges
+    serial, t_serial = _best_of(
+        lambda: run_per_source(
+            graph, sources=sources, mode="arcs", batch_size="auto"
+        )
+    )
+    health = RunHealth()
+    pool_counter = WorkCounter()
+
+    def pooled_run():
+        return run_per_source(
+            graph,
+            sources=sources,
+            mode="arcs",
+            batch_size=pool_batch,
+            workers=workers,
+        )
+
+    pooled, t_pooled = _best_of(pooled_run)
+    # correctness + exact-tally checks on an instrumented run
+    checked = run_per_source(
+        graph,
+        sources=sources,
+        mode="arcs",
+        batch_size=pool_batch,
+        workers=workers,
+        counter=pool_counter,
+        health=health,
+    )
+    np.testing.assert_allclose(pooled, serial, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(checked, serial, rtol=1e-9, atol=1e-9)
+    serial_same_batch = WorkCounter()
+    run_per_source(
+        graph, sources=sources, mode="arcs", counter=serial_same_batch,
+        batch_size=pool_batch,
+    )
+    assert pool_counter.edges == serial_same_batch.edges, (
+        f"{name}: pooled edge tally {pool_counter.edges} != serial "
+        f"{serial_same_batch.edges}"
+    )
+    return {
+        "graph": name,
+        "scale": scale,
+        "n": graph.n,
+        "m": graph.num_arcs,
+        "sources": len(sources),
+        "workers": workers,
+        "pool_batch": pool_batch,
+        "batches": n_batches,
+        "edges_examined": edges,
+        "serial_batched_seconds": round(t_serial, 4),
+        "pooled_seconds": round(t_pooled, 4),
+        "serial_batched_mteps": round(examined_mteps(edges, t_serial), 2),
+        "pooled_mteps": round(examined_mteps(edges, t_pooled), 2),
+        "speedup": round(t_serial / t_pooled, 3),
+        "model_speedup": round(
+            sum(weights) / lpt_makespan(weights, workers), 3
+        ),
+        "steals": health.steals,
+        "health": health.summary(),
+    }
+
+
+def run_bench(quick=False, out_path=None):
+    """Measure every workload; returns (payload, path written)."""
+    workloads = QUICK_WORKLOADS if quick else WORKLOADS
+    workers = QUICK_WORKERS if quick else WORKERS
+    rows = [measure_workload(*w, workers=workers) for w in workloads]
+    payload = {
+        "bench": "bench_parallel_batched",
+        "seed": SEED,
+        "repeat": REPEAT,
+        "quick": quick,
+        "environment": environment_provenance(workers=workers),
+        "workloads": rows,
+    }
+    if out_path is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_path = RESULTS_DIR / "bench_parallel_batched.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload, Path(out_path)
+
+
+def check_rows(rows, *, quick=False):
+    """Perf guards, scaled to what this machine can actually show."""
+    cores = available_workers()
+    for row in rows:
+        if not quick and cores >= row["workers"]:
+            # the real acceptance bar — only measurable with the cores
+            assert row["speedup"] >= 2.5, (
+                f"{row['graph']}: {row['speedup']}x at {row['workers']} "
+                f"workers on {cores} cores (target >= 2.5x)"
+            )
+        # scheduler-model sanity: the LPT bound must show headroom for
+        # the fan-out even when the host cannot
+        assert row["model_speedup"] >= 2.0 or row["workers"] < 4, (
+            f"{row['graph']}: LPT model speedup {row['model_speedup']}x "
+            f"leaves the pool starved — batch plan is wrong"
+        )
+    if quick or not BASELINE_PATH.exists():
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_rows = {r["graph"]: r for r in baseline["workloads"]}
+    for row in rows:
+        base = base_rows.get(row["graph"])
+        if base is None:
+            continue
+        assert row["speedup"] >= 0.5 * base["speedup"], (
+            f"{row['graph']}: pooled speedup {row['speedup']}x fell to "
+            f"less than half the committed baseline {base['speedup']}x"
+        )
+
+
+def test_parallel_batched_smoke(results_dir):
+    payload, _ = run_bench(quick=False)
+    print(json.dumps(payload, indent=2))
+    check_rows(payload["workloads"], quick=False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small graph, 2 workers — the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--out", default=None, help="output JSON path (default: results/)"
+    )
+    args = parser.parse_args(argv)
+    payload, out_path = run_bench(quick=args.quick, out_path=args.out)
+    print(json.dumps(payload, indent=2))
+    check_rows(payload["workloads"], quick=args.quick)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

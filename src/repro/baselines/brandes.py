@@ -32,6 +32,8 @@ def brandes_bc(
     *,
     counter: Optional[WorkCounter] = None,
     batch_size=None,
+    workers: int = 1,
+    steal: bool = True,
 ) -> np.ndarray:
     """Exact BC via Brandes' algorithm (float64, unnormalised).
 
@@ -43,9 +45,18 @@ def brandes_bc(
     sources simultaneously through the multi-source kernel
     (:mod:`repro.graph.batched`) — same scores within float64
     tolerance, same edge tally, far fewer per-level kernel launches.
+    ``workers > 1`` composes with it: source batches fan out across
+    the persistent shared-memory pool
+    (:mod:`repro.parallel.batched_pool`; ``steal`` toggles work
+    stealing between workers).
     """
     return run_per_source(
-        graph, mode="arcs", counter=counter, batch_size=batch_size
+        graph,
+        mode="arcs",
+        counter=counter,
+        batch_size=batch_size,
+        workers=workers,
+        steal=steal,
     )
 
 

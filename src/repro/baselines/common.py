@@ -137,6 +137,7 @@ def run_per_source(
     supervisor=None,
     health=None,
     batch_size=None,
+    steal: bool = True,
 ) -> np.ndarray:
     """Sum per-source dependencies into BC scores.
 
@@ -148,9 +149,7 @@ def run_per_source(
     ``supervisor`` (a :class:`repro.parallel.supervisor
     .SupervisorConfig`) tunes that policy and ``health`` (a
     :class:`~repro.parallel.supervisor.RunHealth`) collects the
-    report. Edge counters only aggregate in the single-process path:
-    with workers the counts stay in the children, so pass
-    ``workers=1`` when instrumenting.
+    report.
 
     ``batch_size`` (a positive int or ``"auto"``) routes the run
     through the multi-source kernel
@@ -159,8 +158,17 @@ def run_per_source(
     (recorded-DAG) accumulation strategy, so it requires
     ``mode="arcs"`` with the default forward BFS; scores match the
     per-source path within float64 tolerance and the edge tally is
-    identical.  Composes with ``workers``: each pool chunk then runs
-    the batched kernel.
+    identical.
+
+    Composing both selects the persistent shared-memory pool
+    (:func:`repro.parallel.batched_pool.batched_pool_bc_scores`): the
+    CSR arrays are published once, workers pull LPT-ordered source
+    batches (``steal`` lets idle workers take over a straggler's
+    remaining batches) and accumulate into shared score rows, and —
+    unlike the per-source chunk pool — ``counter`` aggregates the
+    exact serial edge tally across workers.  On the per-source pool
+    (``workers > 1`` without ``batch_size``) counters still stay in
+    the children; pass ``workers=1`` there when instrumenting.
     """
     n = graph.n
     if sources is None:
@@ -177,6 +185,23 @@ def run_per_source(
             raise AlgorithmError(
                 "batch_size requires the default bfs_sigma forward"
             )
+    if workers > 1 and batch_size is not None:
+        from repro.graph.batched import resolve_batch_size
+        from repro.parallel.batched_pool import batched_pool_bc_scores
+
+        batch = resolve_batch_size(
+            batch_size, n, graph.num_arcs, workers=workers
+        )
+        return batched_pool_bc_scores(
+            graph,
+            list(source_list),
+            batch=batch,
+            workers=workers,
+            steal=steal,
+            counter=counter,
+            config=supervisor,
+            health=health,
+        )
     if workers > 1:
         from repro.parallel.pool import map_sources_bc
 
@@ -188,7 +213,6 @@ def run_per_source(
             workers=workers,
             supervisor=supervisor,
             health=health,
-            batch_size=batch_size,
         )
     if batch_size is not None:
         from repro.graph.batched import (

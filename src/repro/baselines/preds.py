@@ -29,12 +29,14 @@ def preds_bc(
     workers: int = 1,
     counter: Optional[WorkCounter] = None,
     batch_size=None,
+    steal: bool = True,
 ) -> np.ndarray:
     """Exact BC with stored predecessor arcs (Bader–Madduri).
 
     ``batch_size`` routes the run through the multi-source batched
     kernel (the predecessor arcs are shared per level across the
-    batch); composes with ``workers``.
+    batch); composed with ``workers`` the batches fan out over the
+    persistent shared-memory pool (``steal`` toggles work stealing).
     """
     return run_per_source(
         graph,
@@ -42,4 +44,5 @@ def preds_bc(
         workers=workers,
         counter=counter,
         batch_size=batch_size,
+        steal=steal,
     )

@@ -11,16 +11,59 @@ tolerance — the regression check for "did my change slow APGRE down".
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import platform
+import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.runner import ExperimentResult
 from repro.errors import BenchmarkError
 
-__all__ = ["save_results", "load_results", "diff_results", "CellChange"]
+__all__ = [
+    "environment_provenance",
+    "save_results",
+    "load_results",
+    "diff_results",
+    "CellChange",
+]
 
 _SCHEMA_VERSION = 1
+
+
+def environment_provenance(workers: Optional[int] = None) -> Dict:
+    """Describe the machine and toolchain behind a benchmark number.
+
+    Perf numbers are only interpretable next to the environment that
+    produced them (a 1.0x "speedup" at 4 workers is expected on a
+    1-CPU container and a bug on a 16-core box), so every BENCH_*.json
+    embeds this block.  ``workers`` records the worker count the
+    benchmark actually ran with, when it has one.
+    """
+    import numpy
+
+    try:
+        import scipy
+
+        scipy_version: Optional[str] = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy absent in minimal envs
+        scipy_version = None
+    from repro.parallel.pool import available_workers
+
+    info: Dict = {
+        "cpu_count": os.cpu_count(),
+        "available_workers": available_workers(),
+        "start_methods": multiprocessing.get_all_start_methods(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "platform": sys.platform,
+    }
+    if workers is not None:
+        info["workers"] = int(workers)
+    return info
 
 
 def save_results(
@@ -29,10 +72,17 @@ def save_results(
     *,
     metadata: Dict | None = None,
 ) -> None:
-    """Write experiment results (plus optional run metadata) as JSON."""
+    """Write experiment results (plus optional run metadata) as JSON.
+
+    An ``environment`` provenance block is added to the metadata
+    automatically (a caller-provided ``environment`` key wins), so
+    every saved result file records the machine it was measured on.
+    """
+    merged: Dict = {"environment": environment_provenance()}
+    merged.update(metadata or {})
     payload = {
         "schema": _SCHEMA_VERSION,
-        "metadata": metadata or {},
+        "metadata": merged,
         "experiments": [
             {
                 "exp_id": r.exp_id,

@@ -76,7 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="print the k highest-BC vertices"
     )
     p_compute.add_argument(
-        "--workers", type=int, default=1, help="worker processes for APGRE"
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (APGRE sub-graph pool, or the "
+        "parallel-batched pool for serial/preds/batched with "
+        "--batch-size)",
     )
     p_compute.add_argument(
         "--timeout",
@@ -106,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
         "batched kernel ('auto' sizes batches from the graph and "
         "available memory; supported by APGRE, serial, preds and "
         "batched)",
+    )
+    p_compute.add_argument(
+        "--parallel-batched",
+        action="store_true",
+        help="run source batches on the persistent shared-memory "
+        "worker pool (needs --workers > 1; implies --batch-size auto "
+        "unless one is given)",
+    )
+    p_compute.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="let idle pool workers steal batches from stragglers "
+        "(--no-steal keeps the static LPT placement)",
     )
 
     p_part = sub.add_parser("partition", help="decomposition statistics")
@@ -188,6 +207,22 @@ def _cmd_compute(args) -> int:
 
     graph = load_graph(args.graph, directed=args.directed)
     fn = get_algorithm(args.algorithm)
+    batched_algos = ("APGRE", "serial", "preds", "batched")
+    if args.parallel_batched:
+        if args.workers <= 1:
+            print(
+                "repro-bc: error: --parallel-batched needs --workers > 1",
+                file=sys.stderr,
+            )
+            return 2
+        if args.algorithm not in batched_algos:
+            print(
+                f"repro-bc: error: --parallel-batched is not supported "
+                f"by {args.algorithm!r} (use APGRE, serial, preds or "
+                f"batched)",
+                file=sys.stderr,
+            )
+            return 2
     kwargs = {}
     if args.algorithm == "APGRE" and args.workers > 1:
         kwargs = {
@@ -197,8 +232,17 @@ def _cmd_compute(args) -> int:
             "max_retries": args.max_retries,
             "fallback": not args.no_fallback,
         }
+        if args.parallel_batched:
+            kwargs["parallel_batched"] = True
+            kwargs["steal"] = args.steal
+    elif args.algorithm in ("serial", "preds", "batched") and (
+        args.workers > 1
+    ):
+        kwargs = {"workers": args.workers, "steal": args.steal}
+        if args.parallel_batched and args.batch_size is None:
+            kwargs["batch_size"] = "auto"
     if args.batch_size is not None:
-        if args.algorithm not in ("APGRE", "serial", "preds", "batched"):
+        if args.algorithm not in batched_algos:
             print(
                 f"repro-bc: error: --batch-size is not supported by "
                 f"{args.algorithm!r} (use APGRE, serial, preds or batched)",

@@ -175,7 +175,13 @@ def apgre_bc_detailed(
             "eliminate_pendants": config.eliminate_pendants,
             "batch_size": config.batch_size,
         }
-        if config.parallel == "processes":
+        if config.parallel == "processes" and config.parallel_batched:
+            health = RunHealth()
+            _batched_pool_pass(
+                graph, bc, tasks, subgraphs, config, counter, timings,
+                health
+            )
+        elif config.parallel == "processes":
             health = RunHealth()
             results = _supervised_pass(
                 graph, bc, tasks, subgraphs, state, config, counter,
@@ -273,6 +279,85 @@ def _supervised_pass(
     return results
 
 
+def _batched_pool_pass(
+    graph: CSRGraph,
+    bc: np.ndarray,
+    tasks,
+    subgraphs,
+    config: APGREConfig,
+    counter,
+    timings,
+    health: RunHealth,
+) -> None:
+    """Process-parallel BC phase on the persistent shared-memory pool.
+
+    Same degradation ladder as :func:`_supervised_pass`, but the
+    workers commit their batched root-slice deltas straight into
+    shared score rows (:mod:`repro.parallel.batched_pool`) instead of
+    pickling an ``(n,)`` vector per task — and, unlike the pickling
+    pool, the per-task edge tallies come back exactly, so
+    ``stats.edges_traversed`` aggregates across workers just as a
+    serial run would count it.
+    """
+    from repro.core.batched_subgraph import bc_subgraph_batched
+    from repro.parallel.batched_pool import _pooled_contributions
+
+    supervisor = SupervisorConfig(
+        timeout=config.timeout,
+        max_retries=config.max_retries,
+        fallback=config.fallback,
+    )
+
+    def compute(task_id: int):
+        idx, lo, hi = tasks[task_id]
+        sg = subgraphs[idx]
+        if config.eliminate_pendants:
+            all_roots = sg.roots
+        else:
+            all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
+        local_counter = WorkCounter()
+        local = bc_subgraph_batched(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            counter=local_counter,
+            roots=all_roots[lo:hi],
+            batch_size=config.batch_size or "auto",
+            workers=config.workers,
+        )
+        return sg.vertices, local, local_counter.edges
+
+    weights = [
+        (hi - lo) * max(subgraphs[idx].num_arcs, 1)
+        for idx, lo, hi in tasks
+    ]
+    try:
+        total, edge_total = _pooled_contributions(
+            compute,
+            weights,
+            n=graph.n,
+            workers=config.workers,
+            steal=config.steal,
+            config=supervisor,
+            health=health,
+        )
+    except ExecutionError:
+        if not config.fallback:
+            raise
+        health.fallback_path = "serial"
+        try:
+            bc[:] = 0.0
+            _serial_pass(bc, subgraphs, config, counter, timings)
+            return
+        except ReproError:
+            from repro.baselines.brandes import brandes_bc
+
+            health.fallback_path = "brandes"
+            bc[:] = brandes_bc(graph)
+            return
+    bc += total
+    counter.add(edge_total)
+
+
 def apgre_bc(
     graph: CSRGraph,
     *,
@@ -285,6 +370,8 @@ def apgre_bc(
     max_retries: int = 2,
     fallback: bool = True,
     batch_size=None,
+    parallel_batched: bool = False,
+    steal: bool = True,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -292,7 +379,9 @@ def apgre_bc(
     see :class:`repro.core.config.APGREConfig` for the options
     (``timeout``/``max_retries``/``fallback`` set the supervision
     policy of ``parallel="processes"`` runs; ``batch_size`` routes
-    each sub-graph's roots through the multi-source batched kernel).
+    each sub-graph's roots through the multi-source batched kernel;
+    ``parallel_batched`` moves the process pool onto the persistent
+    shared-memory path with ``steal`` toggling work stealing).
     """
     kwargs = dict(
         parallel=parallel,
@@ -303,6 +392,8 @@ def apgre_bc(
         max_retries=max_retries,
         fallback=fallback,
         batch_size=batch_size,
+        parallel_batched=parallel_batched,
+        steal=steal,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

@@ -146,13 +146,17 @@ def bc_subgraph_batched(
     counter: Optional[WorkCounter] = None,
     roots: Optional[np.ndarray] = None,
     batch_size: Union[int, str] = "auto",
+    workers: int = 1,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph via the batched kernel.
 
     Same contract as :func:`repro.core.bc_subgraph.bc_subgraph` (root
     subsets from different calls still sum to the full sub-graph
     scores), with roots processed ``batch_size`` at a time; ``"auto"``
-    resolves a RAM-safe batch from the sub-graph's own n and m.
+    resolves a RAM-safe batch from the sub-graph's own n and m divided
+    by ``workers`` — pass the pool's worker count when several of
+    these calls run concurrently, so they share one RAM budget instead
+    of each claiming all of it.
     """
     g = sg.graph
     n = g.n
@@ -170,7 +174,7 @@ def bc_subgraph_batched(
             roots = np.arange(n, dtype=VERTEX_DTYPE)
     if roots.size == 0:
         return bc
-    batch = resolve_batch_size(batch_size, n, g.num_arcs)
+    batch = resolve_batch_size(batch_size, n, g.num_arcs, workers=workers)
     if batch is None:
         raise AlgorithmError("bc_subgraph_batched needs a batch size")
 

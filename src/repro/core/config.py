@@ -57,6 +57,19 @@ class APGREConfig:
         sources at a time. ``None`` (default) keeps the per-source
         kernel; ``"auto"`` sizes batches from the graph and available
         memory; a positive int fixes the batch width.
+    parallel_batched:
+        Run the process-parallel BC phase on the persistent
+        shared-memory pool (:mod:`repro.parallel.batched_pool`):
+        workers accumulate batched root-slice deltas into shared score
+        rows instead of pickling a score vector per task, with
+        LPT-planned placement and work stealing.  Requires
+        ``parallel="processes"``; implies ``batch_size="auto"`` when
+        no batch size is set.
+    steal:
+        Allow idle pool workers to steal the heaviest remaining batch
+        of the most-loaded peer (``parallel_batched`` runs only).
+        ``False`` keeps the static LPT placement — kept as the
+        measurable baseline the steal scheduler is compared against.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -68,6 +81,8 @@ class APGREConfig:
     max_retries: int = 2
     fallback: bool = True
     batch_size: Optional[Union[int, str]] = None
+    parallel_batched: bool = False
+    steal: bool = True
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -75,6 +90,16 @@ class APGREConfig:
                 f"parallel must be one of {_PARALLEL_MODES}, "
                 f"got {self.parallel!r}"
             )
+        if self.parallel_batched:
+            if self.parallel != "processes":
+                raise AlgorithmError(
+                    "parallel_batched requires parallel='processes', "
+                    f"got parallel={self.parallel!r}"
+                )
+            if self.batch_size is None:
+                # the pool moves batched deltas, so it needs a batch
+                # width; auto is the only safe unattended default
+                object.__setattr__(self, "batch_size", "auto")
         if self.alpha_beta_method not in _AB_METHODS:
             raise AlgorithmError(
                 f"alpha_beta_method must be one of {_AB_METHODS}, "

@@ -102,36 +102,42 @@ def auto_batch_size(
     *,
     available_bytes: Optional[int] = None,
     max_batch: int = DEFAULT_MAX_BATCH,
+    workers: int = 1,
 ) -> int:
     """Pick a batch size whose ``(B, n)`` buffers stay RAM-safe.
 
     Budgets a quarter of available memory (capped at 2 GiB) against a
     conservative per-row estimate of ``44·n + 20·m`` bytes (state
     matrices plus recorded DAG arcs), clamped to ``[1, max_batch]``.
+    ``workers`` divides the budget: in a parallel run every concurrent
+    worker materialises its own ``(B, n)`` working set, so sizing each
+    against the full budget would oversubscribe RAM ``workers``-fold.
     """
     if n <= 0:
         return 1
     if available_bytes is None:
         available_bytes = available_memory_bytes()
-    budget = min(available_bytes // 4, 2 << 30)
+    budget = min(available_bytes // 4, 2 << 30) // max(int(workers), 1)
     per_row = _BYTES_PER_ROW_VERTEX * n + _BYTES_PER_ROW_ARC * max(m, 1)
     return int(max(1, min(budget // per_row, max_batch)))
 
 
 def resolve_batch_size(
-    batch_size: Union[int, str, None], n: int, m: int
+    batch_size: Union[int, str, None], n: int, m: int, *, workers: int = 1
 ) -> Optional[int]:
     """Normalise a ``batch_size`` option to an int (or ``None``).
 
     ``None`` means "per-source path" and passes through; ``"auto"``
-    resolves via :func:`auto_batch_size` for the given graph size; a
-    positive int is validated and returned.
+    resolves via :func:`auto_batch_size` for the given graph size and
+    the number of concurrent ``workers`` sharing the RAM budget; a
+    positive int is validated and returned as-is (an explicit size is
+    the caller's statement that it fits).
     """
     if batch_size is None:
         return None
     if isinstance(batch_size, str):
         if batch_size == "auto":
-            return auto_batch_size(n, m)
+            return auto_batch_size(n, m, workers=workers)
         raise AlgorithmError(
             f"batch_size must be 'auto', a positive int or None, "
             f"got {batch_size!r}"

@@ -17,6 +17,7 @@ fault-injection harness (:mod:`repro.parallel.faults`); see
 docs/ROBUSTNESS.md.
 """
 
+from repro.parallel.batched_pool import batched_pool_bc_scores, tree_reduce
 from repro.parallel.pool import fork_map, map_sources_bc, thread_map
 from repro.parallel.scheduler import assign_lpt, lpt_order
 from repro.parallel.sharedmem import SharedArray
@@ -36,6 +37,8 @@ from repro.parallel.faults import (
 )
 
 __all__ = [
+    "batched_pool_bc_scores",
+    "tree_reduce",
     "fork_map",
     "map_sources_bc",
     "thread_map",

@@ -1,22 +1,48 @@
 """POSIX shared-memory arrays.
 
 With the ``fork`` start method the read-only graph is shared for free
-(copy-on-write pages), so the pool never needs this module. It exists
-for the two situations where fork is unavailable or insufficient:
-``spawn``-only platforms (broadcasting the CSR arrays without per-task
-pickling) and writeback buffers that must outlive a worker. The
-wrapper owns the segment lifecycle explicitly because the interpreter
-does not reliably garbage-collect shared memory at exit.
+(copy-on-write pages), so the pool never strictly needs this module.
+It exists for the two situations where fork is unavailable or
+insufficient: ``spawn``-only platforms (broadcasting the CSR arrays
+without per-task pickling) and *writeback* buffers that must outlive a
+worker — the batched pool's per-worker score slots
+(:mod:`repro.parallel.batched_pool`) are exactly that.  The wrapper
+owns the segment lifecycle explicitly because the interpreter does not
+reliably garbage-collect shared memory at exit: every instance carries
+a :mod:`weakref` finalizer that closes (and, for the creating process,
+unlinks) the segment if the owner forgets to, so an exception anywhere
+between ``create`` and ``unlink`` cannot leak a ``/dev/shm`` segment
+for the lifetime of the machine.
 """
 
 from __future__ import annotations
 
+import os
 from multiprocessing import shared_memory
 from typing import Optional, Tuple
 
 import numpy as np
 
 __all__ = ["SharedArray"]
+
+
+def _cleanup(shm: shared_memory.SharedMemory, owner: bool, pid: int) -> None:
+    """Finalizer body: close this mapping, unlink if we created it.
+
+    The ``pid`` guard matters under ``fork``: children inherit the
+    parent's ``SharedArray`` objects, and a child exiting normally runs
+    the inherited finalizers — without the guard it would unlink the
+    segment out from under the parent and its siblings.
+    """
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    if owner and os.getpid() == pid:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked explicitly
+            pass
 
 
 class SharedArray:
@@ -30,8 +56,16 @@ class SharedArray:
         view.close()      # every attacher
         owner.unlink()    # owner only, once
 
+    or, scope the whole lifecycle (close + owner unlink) with a
+    ``with`` block::
+
+        with SharedArray.create((n,), np.float64) as buf:
+            buf.array[:] = scores
+
     The array is exposed via :attr:`array`; it remains valid until
-    :meth:`close`.
+    :meth:`close`.  Instances also carry a finalizer so a leaked
+    reference is cleaned up at garbage collection / interpreter exit
+    (creating process only — forked children never unlink).
     """
 
     def __init__(
@@ -43,7 +77,14 @@ class SharedArray:
     ) -> None:
         self._shm = shm
         self._owner = owner
+        self._closed = False
+        self._unlinked = False
         self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        import weakref
+
+        self._finalizer = weakref.finalize(
+            self, _cleanup, shm, owner, os.getpid()
+        )
 
     @classmethod
     def create(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
@@ -67,16 +108,29 @@ class SharedArray:
         """Segment name to hand to :meth:`attach` in another process."""
         return self._shm.name
 
+    @property
+    def owner(self) -> bool:
+        """Whether this instance created (and must unlink) the segment."""
+        return self._owner
+
     def close(self) -> None:
         """Release this process's mapping (array becomes invalid)."""
+        if self._closed:
+            return
+        self._closed = True
         # drop the numpy view first: closing a mapped buffer raises
         self.array = None  # type: ignore[assignment]
         self._shm.close()
 
     def unlink(self) -> None:
         """Destroy the segment (owner only; call after close)."""
-        if self._owner:
-            self._shm.unlink()
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            self._finalizer.detach()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost race
+                pass
 
     def __enter__(self) -> "SharedArray":
         return self

@@ -135,6 +135,7 @@ class RunHealth:
     tasks: int = 0
     pool_ok: int = 0          # tasks that succeeded in the pool
     retries: int = 0          # pool re-dispatches
+    steals: int = 0           # batches run off their LPT-planned worker
     worker_crashes: int = 0   # dead workers detected
     timeouts: int = 0         # tasks killed for exceeding the budget
     task_errors: int = 0      # exceptions raised inside workers
@@ -169,6 +170,7 @@ class RunHealth:
         self.tasks += other.tasks
         self.pool_ok += other.pool_ok
         self.retries += other.retries
+        self.steals += other.steals
         self.worker_crashes += other.worker_crashes
         self.timeouts += other.timeouts
         self.task_errors += other.task_errors
@@ -254,13 +256,17 @@ class _Task:
 
 
 class _Worker:
-    __slots__ = ("process", "conn", "task", "deadline")
+    __slots__ = ("process", "conn", "task", "deadline", "wid")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, wid: int = 0) -> None:
         self.process = process
         self.conn = conn
         self.task: Optional[_Task] = None
         self.deadline: Optional[float] = None
+        # stable pool slot id in [0, workers): survives respawns so
+        # affinity-based schedulers can keep addressing "worker 2"
+        # after the process occupying that slot died
+        self.wid = wid
 
     def kill(self) -> None:
         try:
@@ -271,7 +277,7 @@ class _Worker:
         self.conn.close()
 
 
-def _spawn_worker(ctx, func, health: RunHealth) -> _Worker:
+def _spawn_worker(ctx, func, health: RunHealth, wid: int = 0) -> _Worker:
     parent_conn, child_conn = ctx.Pipe()
     proc = ctx.Process(
         target=_worker_main, args=(child_conn, func), daemon=True
@@ -279,7 +285,7 @@ def _spawn_worker(ctx, func, health: RunHealth) -> _Worker:
     proc.start()
     child_conn.close()
     health.workers_spawned += 1
-    return _Worker(proc, parent_conn)
+    return _Worker(proc, parent_conn, wid)
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +307,7 @@ class _PoolSupervisor:
         self.results: Dict[int, Any] = {}
         self.idle: List[_Worker] = []
         self.busy: List[_Worker] = []
+        self._free_wids: List[int] = list(range(workers))
         self.pool_failures = 0
         budget = config.max_pool_failures
         self.failure_budget = (
@@ -341,24 +348,50 @@ class _PoolSupervisor:
         self.busy = []
 
     # -- scheduling ----------------------------------------------------
+    def _match(self, ready: List[_Task]) -> Optional[tuple]:
+        """Pick the next ``(wid, task)`` pairing, or ``None`` to wait.
+
+        The base policy is FIFO over ready tasks onto any available
+        slot (an idle worker, else the lowest free slot id, which
+        triggers a spawn).  Subclasses override this to implement
+        affinity-aware scheduling — the work-stealing pool in
+        :mod:`repro.parallel.batched_pool` matches tasks to the worker
+        slots the LPT plan assigned them to.
+        """
+        if not ready:
+            return None
+        if self.idle:
+            return self.idle[-1].wid, ready[0]
+        if self._free_wids:
+            return min(self._free_wids), ready[0]
+        return None
+
+    def _release_wid(self, worker: _Worker) -> None:
+        if worker.wid not in self._free_wids:
+            self._free_wids.append(worker.wid)
+
     def _dispatch(self) -> None:
         now = time.monotonic()
         ready = [t for t in self.pending if t.not_before <= now]
-        while ready and (
-            self.idle or len(self.idle) + len(self.busy) < self.workers
-        ):
-            task = ready.pop(0)
+        while True:
+            match = self._match(ready)
+            if match is None:
+                break
+            wid, task = match
+            ready.remove(task)
             self.pending.remove(task)
-            worker = (
-                self.idle.pop()
-                if self.idle
-                else _spawn_worker(self.ctx, self.func, self.health)
-            )
+            worker = next((w for w in self.idle if w.wid == wid), None)
+            if worker is not None:
+                self.idle.remove(worker)
+            else:
+                self._free_wids.remove(wid)
+                worker = _spawn_worker(self.ctx, self.func, self.health, wid)
             try:
                 worker.conn.send((task.index, task.attempts, task.payload))
             except (BrokenPipeError, OSError):
                 # worker died between jobs; treat as a crash of this task
                 worker.kill()
+                self._release_wid(worker)
                 self.health.worker_crashes += 1
                 self.pool_failures += 1
                 self._record_failure(task, "crash")
@@ -428,6 +461,7 @@ class _PoolSupervisor:
                 continue
             self.busy.remove(worker)
             worker.conn.close()
+            self._release_wid(worker)
             task = worker.task
             assert task is not None
             self.health.worker_crashes += 1
@@ -444,6 +478,7 @@ class _PoolSupervisor:
             task = worker.task
             assert task is not None
             worker.kill()  # the only reliable way to reclaim the slot
+            self._release_wid(worker)
             self.health.timeouts += 1
             self.pool_failures += 1
             self._record_failure(task, "timeout")

@@ -314,3 +314,42 @@ class TestPersistence:
         p.write_text('{"schema": 99, "experiments": []}')
         with pytest.raises(BenchmarkError, match="schema"):
             load_results(p)
+
+
+@pytest.mark.benchmarks
+class TestParallelBenchSmoke:
+    """Quick-mode invocation of the parallel pool benchmark.
+
+    Keeps ``benchmarks/bench_parallel_batched.py --quick`` runnable
+    from the suite (marker ``benchmarks``) so a routing or provenance
+    regression in the bench script is caught before a full run.
+    Skipped on single-core machines where a 2-worker pool cannot be
+    exercised meaningfully.
+    """
+
+    def test_quick_mode(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+
+        from repro.parallel.pool import available_workers
+
+        if available_workers() < 2:
+            pytest.skip("needs >= 2 CPUs for a 2-worker pool smoke")
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "bench_parallel_batched.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "bench_parallel_batched_smoke", script
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        out = tmp_path / "quick.json"
+        payload, written = mod.run_bench(quick=True, out_path=out)
+        assert written == out
+        mod.check_rows(payload["workloads"], quick=True)
+        assert payload["environment"]["workers"] == mod.QUICK_WORKERS
+        row = payload["workloads"][0]
+        assert row["speedup"] > 0
+        assert row["health"].startswith("ok")

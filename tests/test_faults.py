@@ -490,3 +490,125 @@ class TestBatchedUnderFaults:
                 graph, mode="arcs", workers=2, batch_size=4
             )
         np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestParallelBatchedUnderFaults:
+    """The shared-memory batched pool under injected crashes.
+
+    The pool's crash story is stronger than retry-and-hope: score
+    slots live in shared memory with a per-batch commit protocol, so a
+    worker killed mid-batch leaves either no trace (batch still
+    pending) or a poisoned slot the parent recomputes and excludes —
+    never a half-added delta.  Scores must match serial batched to
+    1e-9 and the examined-edge tally must stay exact through every
+    rung of the ladder.
+    """
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return from_networkx(nx.gnm_random_graph(40, 90, seed=21), n=40)
+
+    @pytest.fixture(scope="class")
+    def serial(self, graph):
+        from repro.baselines.common import WorkCounter
+        from repro.graph.batched import batched_bc_scores
+
+        counter = WorkCounter()
+        scores = batched_bc_scores(
+            graph, list(range(graph.n)), batch=5, counter=counter
+        )
+        return scores, counter.edges
+
+    def _pooled(self, graph, **kwargs):
+        from repro.baselines.common import WorkCounter
+        from repro.parallel.batched_pool import batched_pool_bc_scores
+
+        counter = WorkCounter()
+        health = RunHealth()
+        scores = batched_pool_bc_scores(
+            graph,
+            list(range(graph.n)),
+            batch=5,
+            workers=2,
+            counter=counter,
+            health=health,
+            **kwargs,
+        )
+        return scores, counter.edges, health
+
+    def test_kill_mid_run_is_retried(self, graph, serial):
+        ref_scores, ref_edges = serial
+        with injected_faults(FaultSpec("kill", task=1)):
+            scores, edges, health = self._pooled(graph)
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-9, atol=1e-9)
+        assert edges == ref_edges
+        assert health.worker_crashes == 1
+        assert health.retries >= 1
+        assert health.degraded  # truthful: this run was not clean
+        assert "degraded" in health.summary()
+
+    def test_persistent_kill_resolves_on_serial_rung(self, graph, serial):
+        ref_scores, ref_edges = serial
+        with injected_faults(FaultSpec("kill", task=2, attempts=ALWAYS)):
+            scores, edges, health = self._pooled(
+                graph, config=SupervisorConfig(max_retries=2)
+            )
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-9, atol=1e-9)
+        assert edges == ref_edges
+        assert health.worker_crashes >= 2
+        assert health.serial_retries >= 1
+        assert health.degraded
+
+    def test_no_fallback_raises(self, graph):
+        with injected_faults(FaultSpec("kill", task=0, attempts=ALWAYS)):
+            with pytest.raises(WorkerCrashError):
+                self._pooled(
+                    graph,
+                    config=SupervisorConfig(max_retries=1, fallback=False),
+                )
+
+    def test_steal_disabled_still_recovers(self, graph, serial):
+        ref_scores, ref_edges = serial
+        with injected_faults(FaultSpec("kill", task=3)):
+            scores, edges, health = self._pooled(graph, steal=False)
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-9, atol=1e-9)
+        assert edges == ref_edges
+        assert health.steals == 0
+
+    def test_apgre_parallel_batched_under_kill(self, graph):
+        clean = apgre_bc_detailed(
+            graph,
+            APGREConfig(
+                parallel="processes", workers=2, parallel_batched=True
+            ),
+        )
+        assert clean.health.ok
+        with injected_faults(FaultSpec("kill", task=0)):
+            res = apgre_bc_detailed(
+                graph,
+                APGREConfig(
+                    parallel="processes", workers=2, parallel_batched=True
+                ),
+            )
+        np.testing.assert_allclose(
+            res.scores, clean.scores, rtol=1e-9, atol=1e-9
+        )
+        assert res.health.worker_crashes == 1
+        assert res.health.degraded
+
+    def test_run_per_source_pool_route_under_kill(self, graph):
+        from repro.baselines.brandes import brandes_bc
+        from repro.baselines.common import run_per_source
+
+        expected = brandes_bc(graph)
+        health = RunHealth()
+        with injected_faults(FaultSpec("kill", task=1)):
+            got = run_per_source(
+                graph,
+                mode="arcs",
+                workers=2,
+                batch_size=6,
+                health=health,
+            )
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+        assert health.worker_crashes == 1

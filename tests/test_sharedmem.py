@@ -1,0 +1,186 @@
+"""Direct lifecycle tests for :mod:`repro.parallel.sharedmem`.
+
+The batched pool leans on SharedArray for everything crash-safety
+related (per-worker score slots survive a dead worker), so the segment
+lifecycle — create / attach / close / unlink, the finalizer backstop,
+and the fork PID guard that stops a child from unlinking the parent's
+segment — gets its own unit suite here, exercised under both the
+``fork`` and ``spawn`` start methods.
+"""
+
+import gc
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import sharedmem
+from repro.parallel.sharedmem import SharedArray
+
+
+def _segment_exists(name):
+    try:
+        view = SharedArray.attach(name, (1,), np.uint8)
+    except FileNotFoundError:
+        return False
+    view.close()
+    return True
+
+
+def _child_writer(name, shape):
+    """Attach by name, write a recognisable pattern, detach."""
+    view = SharedArray.attach(name, tuple(shape), np.float64)
+    view.array[:] = np.arange(view.array.size, dtype=np.float64) + 1.0
+    view.close()
+
+
+def _child_noop():
+    """Fork child that merely exits; inherited finalizers must not
+    unlink the parent's segments on the way out."""
+
+
+class TestCreateAttach:
+    def test_create_zero_filled(self):
+        with SharedArray.create((7, 3), np.float64) as arr:
+            assert arr.array.shape == (7, 3)
+            assert arr.array.dtype == np.float64
+            assert not arr.array.any()
+            assert arr.owner
+
+    def test_zero_size_segment(self):
+        # max(nbytes, 1): a zero-length array still maps a valid page
+        with SharedArray.create((0,), np.int64) as arr:
+            assert arr.array.size == 0
+
+    def test_attach_shares_storage(self):
+        owner = SharedArray.create((5,), np.int32)
+        try:
+            owner.array[:] = [9, 8, 7, 6, 5]
+            view = SharedArray.attach(owner.name, (5,), np.int32)
+            assert not view.owner
+            assert view.array.tolist() == [9, 8, 7, 6, 5]
+            view.array[4] = -1
+            assert owner.array[4] == -1
+            view.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach("repro-no-such-segment", (1,), np.uint8)
+
+
+class TestCloseUnlink:
+    def test_close_idempotent_and_drops_view(self):
+        arr = SharedArray.create((3,), np.float64)
+        name = arr.name
+        arr.close()
+        assert arr.array is None
+        arr.close()  # second close is a no-op, not an error
+        assert _segment_exists(name)  # close does not destroy
+        arr.unlink()
+        assert not _segment_exists(name)
+
+    def test_unlink_idempotent(self):
+        arr = SharedArray.create((3,), np.float64)
+        arr.close()
+        arr.unlink()
+        arr.unlink()  # no FileNotFoundError on the second call
+
+    def test_non_owner_unlink_is_noop(self):
+        owner = SharedArray.create((2,), np.float64)
+        try:
+            view = SharedArray.attach(owner.name, (2,), np.float64)
+            view.close()
+            view.unlink()  # non-owner: must NOT destroy the segment
+            assert _segment_exists(owner.name)
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_context_manager_owner_unlinks(self):
+        with SharedArray.create((4,), np.float64) as arr:
+            name = arr.name
+            assert _segment_exists(name)
+        assert not _segment_exists(name)
+
+    def test_context_manager_attacher_only_closes(self):
+        owner = SharedArray.create((4,), np.float64)
+        try:
+            with SharedArray.attach(owner.name, (4,), np.float64):
+                pass
+            assert _segment_exists(owner.name)
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestFinalizer:
+    def test_leaked_owner_is_unlinked_by_finalizer(self):
+        arr = SharedArray.create((6,), np.float64)
+        name = arr.name
+        del arr
+        gc.collect()
+        assert not _segment_exists(name)
+
+    def test_explicit_unlink_detaches_finalizer(self):
+        arr = SharedArray.create((6,), np.float64)
+        arr.close()
+        arr.unlink()
+        assert not arr._finalizer.alive
+        del arr
+        gc.collect()  # nothing left to double-unlink
+
+    def test_cleanup_pid_guard_blocks_foreign_unlink(self):
+        # simulate the finalizer firing in a forked child: same shm
+        # object, owner=True, but a pid that is not this process
+        arr = SharedArray.create((2,), np.float64)
+        name = arr.name
+        sharedmem._cleanup(arr._shm, True, os.getpid() + 1)
+        assert _segment_exists(name), "child finalizer unlinked the segment"
+        # reattach for real cleanup (the guard closed our mapping)
+        survivor = SharedArray.attach(name, (2,), np.float64)
+        survivor.close()
+        arr._finalizer.detach()
+        arr._shm.unlink()
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+class TestStartMethods:
+    def test_child_writes_visible(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} start method unavailable")
+        ctx = multiprocessing.get_context(method)
+        owner = SharedArray.create((6,), np.float64)
+        try:
+            proc = ctx.Process(
+                target=_child_writer, args=(owner.name, (6,))
+            )
+            proc.start()
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert owner.array.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_child_exit_does_not_unlink(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} start method unavailable")
+        ctx = multiprocessing.get_context(method)
+        owner = SharedArray.create((3,), np.float64)
+        try:
+            # fork: the child inherits the owning SharedArray object
+            # and runs its finalizer at exit — the PID guard must stop
+            # it from unlinking.  spawn: nothing inherited; still must
+            # survive a child lifecycle.
+            proc = ctx.Process(target=_child_noop)
+            proc.start()
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert _segment_exists(owner.name)
+        finally:
+            owner.close()
+            owner.unlink()
