@@ -15,6 +15,7 @@ import multiprocessing
 import os
 import platform
 import sys
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -30,7 +31,7 @@ __all__ = [
     "CellChange",
 ]
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 
 def environment_provenance(workers: Optional[int] = None) -> Dict:
@@ -82,6 +83,7 @@ def save_results(
     merged.update(metadata or {})
     payload = {
         "schema": _SCHEMA_VERSION,
+        "schema_version": _SCHEMA_VERSION,
         "metadata": merged,
         "experiments": [
             {
@@ -103,9 +105,16 @@ def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise BenchmarkError(f"cannot read results file {path}: {exc}") from exc
-    if payload.get("schema") != _SCHEMA_VERSION:
-        raise BenchmarkError(
-            f"unsupported results schema {payload.get('schema')!r}"
+    version = payload.get("schema_version", payload.get("schema"))
+    if not isinstance(version, int) or version > _SCHEMA_VERSION:
+        raise BenchmarkError(f"unsupported results schema {version!r}")
+    if version < _SCHEMA_VERSION:
+        # Older files stay loadable: every schema bump so far only
+        # added keys, and missing keys already default below.
+        warnings.warn(
+            f"results file {path} has schema {version} "
+            f"(current {_SCHEMA_VERSION}); loading with defaults",
+            stacklevel=2,
         )
     return [
         ExperimentResult(

@@ -23,6 +23,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig10": _exp.fig10,
     "ablation-threshold": _exp.ablation_threshold,
     "ablation-features": _exp.ablation_features,
+    "cache-incremental": _exp.cache_incremental,
 }
 
 

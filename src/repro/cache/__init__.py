@@ -1,0 +1,51 @@
+"""Decomposition-aware contribution cache (docs/CACHING.md).
+
+APGRE's BCC tree localises dependency flow: a sub-graph's local score
+vector depends only on its own edges plus the α/β/γ summaries crossing
+its articulation points (PAPER.md §3–4).  This package turns that
+theorem into a cache:
+
+* :mod:`repro.cache.fingerprint` — canonical, content-addressed keys
+  over exactly the inputs the local scores depend on;
+* :mod:`repro.cache.store` — an in-memory LRU with an optional
+  on-disk layer (``cache_dir``), storing each sub-graph's local score
+  vector *and* its exact examined-edge tally so TEPS accounting stays
+  honest on replay;
+* :mod:`repro.cache.incremental` — ``apgre_bc_delta``: apply a small
+  edge delta, re-decompose, and recompute only the sub-graphs whose
+  fingerprints changed, replaying everything else.
+
+``apgre_bc_delta`` is re-exported lazily (PEP 562) because it imports
+the APGRE driver, which itself consults this package's store layer.
+"""
+
+from repro.cache.fingerprint import (
+    graph_fingerprint,
+    subgraph_key,
+)
+from repro.cache.store import (
+    CacheEntry,
+    CacheStats,
+    ContributionStore,
+    resolve_store,
+)
+
+__all__ = [
+    "graph_fingerprint",
+    "subgraph_key",
+    "CacheEntry",
+    "CacheStats",
+    "ContributionStore",
+    "resolve_store",
+    "apgre_bc_delta",
+    "apply_edge_delta",
+    "DeltaResult",
+]
+
+
+def __getattr__(name: str):
+    if name in ("apgre_bc_delta", "apply_edge_delta", "DeltaResult"):
+        from repro.cache import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,280 @@
+"""Persistence for cached sub-graph contributions.
+
+Two layers behind one interface:
+
+* an in-memory LRU (``OrderedDict``) bounded by entry count and total
+  score-vector bytes — the hot path for repeated in-process runs;
+* an optional on-disk layer under ``cache_dir`` (one ``.npz`` per key,
+  the same ``numpy.savez_compressed`` array serialisation as
+  :mod:`repro.io.binary`), so separate processes and separate CLI
+  invocations share warmth.  Writes are atomic (tmp file + ``rename``)
+  and a corrupted or truncated file degrades to a miss, never an error.
+
+Every entry stores the local score vector **and** the exact
+examined-edge tally of the traversal that produced it, so a replayed
+entry reports its work as *replayed* edges — never as traversed — and
+``WorkCounter``/TEPS accounting stays honest (docs/CACHING.md).
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import CacheError
+from repro.types import SCORE_DTYPE
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ContributionStore",
+    "resolve_store",
+]
+
+#: On-disk entry format version (bumped on any layout change; old
+#: files are treated as misses and rewritten, never mis-read).
+_ENTRY_VERSION = 1
+
+#: Default LRU budgets: generous for sub-graph score vectors (a 1M-
+#: vertex float64 vector is 8 MB; 256 MB holds a large decomposition).
+_DEFAULT_MAX_ENTRIES = 4096
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheEntry:
+    """One cached contribution: local scores + exact edge tally."""
+
+    scores: np.ndarray
+    edges: int
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a store has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
+        }
+
+
+class ContributionStore:
+    """Content-addressed store of sub-graph contribution vectors.
+
+    Parameters
+    ----------
+    max_entries, max_bytes:
+        In-memory LRU budgets (count of entries, total score bytes).
+        The least recently used entries are evicted first; disk copies
+        (when ``cache_dir`` is set) survive eviction.
+    cache_dir:
+        Optional directory for the persistent layer. Created on first
+        write. Entries are stored as ``<key>.npz``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = _DEFAULT_MAX_ENTRIES,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+        cache_dir: Union[str, Path, None] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise CacheError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # mapping-ish surface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        self._entries.clear()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look a key up; memory first, then disk. ``None`` on miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._load_disk(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._admit(key, entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, scores: np.ndarray, edges: int) -> CacheEntry:
+        """Insert one contribution (overwrites any previous entry)."""
+        # private copy: the caller may mutate its array after the put,
+        # and replayed vectors are handed out shared and read-only
+        scores = np.array(scores, dtype=SCORE_DTYPE, copy=True)
+        scores.flags.writeable = False
+        entry = CacheEntry(scores=scores, edges=int(edges))
+        self.stats.puts += 1
+        self._admit(key, entry)
+        if self.cache_dir is not None:
+            self._write_disk(key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # in-memory LRU
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, entry: CacheEntry) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.scores.nbytes
+        self._entries[key] = entry
+        self._bytes += entry.scores.nbytes
+        while self._entries and (
+            len(self._entries) > self.max_entries
+            or self._bytes > self.max_bytes
+        ):
+            if len(self._entries) == 1:
+                break  # a single oversized entry still gets served
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.scores.nbytes
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.npz"
+        return path if path.exists() else None
+
+    def _load_disk(self, key: str) -> Optional[CacheEntry]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with np.load(path) as bundle:
+                if int(bundle["version"]) != _ENTRY_VERSION:
+                    return None
+                scores = np.asarray(bundle["scores"], dtype=SCORE_DTYPE)
+                edges = int(bundle["edges"])
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # corrupted/truncated entry: a miss, not a failure
+            self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        scores.flags.writeable = False
+        return CacheEntry(scores=scores, edges=edges)
+
+    def _write_disk(self, key: str, entry: CacheEntry) -> None:
+        assert self.cache_dir is not None
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            final = self.cache_dir / f"{key}.npz"
+            tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
+            np.savez_compressed(
+                tmp,
+                version=np.asarray(_ENTRY_VERSION),
+                scores=entry.scores,
+                edges=np.asarray(entry.edges, dtype=np.int64),
+            )
+            os.replace(tmp, final)
+        except OSError as exc:
+            raise CacheError(
+                f"cannot persist cache entry under {self.cache_dir}: {exc}"
+            ) from exc
+
+    def summary(self) -> str:
+        """One-line human-readable state (CLI/bench reporting)."""
+        s = self.stats
+        disk = (
+            f", dir={self.cache_dir}" if self.cache_dir is not None else ""
+        )
+        return (
+            f"cache: {len(self._entries)} entries in memory "
+            f"({self._bytes / 1e6:.1f} MB), {s.hits} hits / "
+            f"{s.misses} misses ({s.disk_hits} from disk){disk}"
+        )
+
+    def summary_dict(self) -> Dict:
+        """Machine-readable counters (embedded in BENCH_cache.json)."""
+        out: Dict = dict(self.stats.as_dict())
+        out["entries_in_memory"] = len(self._entries)
+        out["bytes_in_memory"] = self._bytes
+        out["cache_dir"] = str(self.cache_dir) if self.cache_dir else None
+        return out
+
+
+# process-global default stores, keyed by resolved cache_dir ("" for
+# the pure in-memory store) — this is what lets ``cache=True`` warm
+# across separate apgre_bc calls without threading a store object
+_DEFAULT_STORES: Dict[str, ContributionStore] = {}
+
+
+def resolve_store(
+    cache: Union[bool, ContributionStore, None],
+    cache_dir: Union[str, Path, None] = None,
+) -> Optional[ContributionStore]:
+    """Resolve the (cache, cache_dir) config pair to a store.
+
+    * a :class:`ContributionStore` is used as-is (``cache_dir`` must
+      not disagree with the store's own directory);
+    * ``True`` (or any set ``cache_dir``) yields the process-global
+      default store for that directory, so repeated runs share warmth;
+    * ``False``/``None`` (with no ``cache_dir``) disables caching.
+    """
+    if isinstance(cache, ContributionStore):
+        if cache_dir is not None and Path(cache_dir) != cache.cache_dir:
+            raise CacheError(
+                f"cache_dir={cache_dir!r} conflicts with the provided "
+                f"store's directory {cache.cache_dir!r}"
+            )
+        return cache
+    if cache is False:
+        return None
+    if cache is None and cache_dir is None:
+        return None
+    key = str(Path(cache_dir)) if cache_dir is not None else ""
+    store = _DEFAULT_STORES.get(key)
+    if store is None:
+        store = ContributionStore(cache_dir=cache_dir)
+        _DEFAULT_STORES[key] = store
+    return store

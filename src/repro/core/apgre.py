@@ -160,7 +160,18 @@ def apgre_bc_detailed(
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
     health: Optional[RunHealth] = None
 
-    if config.parallel == "serial" or config.workers <= 1:
+    store = None
+    if config.cache is not None or config.cache_dir is not None:
+        from repro.cache.store import resolve_store
+
+        store = resolve_store(config.cache, config.cache_dir)
+    if store is not None:
+        t0 = time.perf_counter()
+        health = _cached_pass(
+            graph, bc, partition, config, store, counter, stats
+        )
+        timings.rest_bc = time.perf_counter() - t0
+    elif config.parallel == "serial" or config.workers <= 1:
         _serial_pass(bc, subgraphs, config, counter, timings)
     else:
         t0 = time.perf_counter()
@@ -331,7 +342,7 @@ def _batched_pool_pass(
         for idx, lo, hi in tasks
     ]
     try:
-        total, edge_total = _pooled_contributions(
+        total, edge_total, _ = _pooled_contributions(
             compute,
             weights,
             n=graph.n,
@@ -358,6 +369,208 @@ def _batched_pool_pass(
     counter.add(edge_total)
 
 
+def _cached_pass(
+    graph: CSRGraph,
+    bc: np.ndarray,
+    partition: Partition,
+    config: APGREConfig,
+    store,
+    counter,
+    stats: APGREStats,
+) -> Optional[RunHealth]:
+    """Cache-aware BC phase: replay hits, recompute and store misses.
+
+    Every sub-graph is keyed by its content fingerprint (local edges +
+    incoming α/β/γ summaries — :mod:`repro.cache.fingerprint`).  Hits
+    merge their stored local vectors and report their stored tallies
+    as ``stats.edges_replayed``; misses are recomputed — fanned out
+    over the shared-memory batched pool for ``parallel="processes"``,
+    a thread pool for ``"threads"``, serially otherwise — and their
+    freshly computed vectors and *exact* tallies are stored.  Store
+    writes happen only in the parent, after the pool's poisoned-row
+    recovery, so a worker killed mid-recompute can never commit a
+    poisoned cache entry.
+    """
+    from repro.cache.fingerprint import subgraph_key
+
+    subgraphs = partition.subgraphs
+    keys = [
+        subgraph_key(sg, eliminate_pendants=config.eliminate_pendants)
+        for sg in subgraphs
+    ]
+    misses: List[int] = []
+    for sg, key in zip(subgraphs, keys):
+        entry = store.get(key)
+        if entry is not None and entry.scores.size == sg.num_vertices:
+            bc[sg.vertices] += entry.scores
+            stats.edges_replayed += entry.edges
+            stats.subgraphs_replayed += 1
+        else:
+            misses.append(sg.index)
+    stats.subgraphs_recomputed = len(misses)
+    if not misses:
+        return None
+
+    if config.parallel == "processes" and config.workers > 1:
+        health = RunHealth()
+        try:
+            _cached_pool_recompute(
+                bc, subgraphs, keys, misses, config, store, counter,
+                health,
+            )
+            return health
+        except ExecutionError:
+            if not config.fallback:
+                raise
+            health.fallback_path = "serial"
+            try:
+                _cached_serial_recompute(
+                    bc, subgraphs, keys, misses, config, store, counter
+                )
+            except ReproError:
+                from repro.baselines.brandes import brandes_bc
+
+                health.fallback_path = "brandes"
+                bc[:] = brandes_bc(graph)
+                # replay bookkeeping no longer describes the scores
+                stats.edges_replayed = 0
+                stats.subgraphs_replayed = 0
+            return health
+    if config.parallel == "threads" and config.workers > 1:
+        _cached_thread_recompute(
+            bc, subgraphs, keys, misses, config, store, counter
+        )
+        return None
+    _cached_serial_recompute(
+        bc, subgraphs, keys, misses, config, store, counter
+    )
+    return None
+
+
+def _cached_serial_recompute(
+    bc, subgraphs, keys, misses, config: APGREConfig, store, counter
+) -> None:
+    """Serial miss loop (also the cached pass's fallback rung)."""
+    for idx in lpt_order([subgraphs[i].num_arcs for i in misses]):
+        sg = subgraphs[misses[idx]]
+        tally = WorkCounter()
+        local = bc_subgraph(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            counter=tally,
+            batch_size=config.batch_size,
+        )
+        store.put(keys[sg.index], local, tally.edges)
+        bc[sg.vertices] += local
+        counter.add(tally.edges)
+
+
+def _cached_thread_recompute(
+    bc, subgraphs, keys, misses, config: APGREConfig, store, counter
+) -> None:
+    """Thread-pool miss recomputation (one whole sub-graph per task)."""
+    order = lpt_order([subgraphs[i].num_arcs for i in misses])
+    miss_order = [misses[i] for i in order]
+
+    def run_one(index: int):
+        sg = subgraphs[index]
+        tally = WorkCounter()
+        local = bc_subgraph(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            counter=tally,
+            batch_size=config.batch_size,
+        )
+        return index, local, tally.edges
+
+    for index, local, edges in thread_map(
+        run_one, miss_order, workers=config.workers
+    ):
+        sg = subgraphs[index]
+        store.put(keys[index], local, edges)
+        bc[sg.vertices] += local
+        counter.add(edges)
+
+
+def _cached_pool_recompute(
+    bc,
+    subgraphs,
+    keys,
+    misses,
+    config: APGREConfig,
+    store,
+    counter,
+    health: RunHealth,
+) -> None:
+    """Fan cache misses out over the shared-memory batched pool.
+
+    Misses are chunked into root slices exactly like a cache-less
+    ``parallel="processes"`` run (LPT order, ``workers``/``steal``
+    compose unchanged), but the pool accumulates into a *concatenated
+    local coordinate space* — each miss sub-graph owns a contiguous
+    slice of the shared score rows — so the parent gets every miss's
+    complete local vector back and can store it, which the global-sum
+    layout of :func:`_batched_pool_pass` cannot provide.  Per-batch
+    edge tallies come back exactly and are summed per sub-graph, so
+    cached entries replay the same tally a serial run would count.
+    """
+    from repro.parallel.batched_pool import _pooled_contributions
+
+    miss_sgs = [subgraphs[i] for i in misses]
+    offsets = np.zeros(len(miss_sgs) + 1, dtype=np.int64)
+    np.cumsum([sg.num_vertices for sg in miss_sgs], out=offsets[1:])
+    tasks = _make_tasks(
+        miss_sgs,
+        config.eliminate_pendants,
+        config.workers,
+        batch_size=config.batch_size,
+    )
+
+    def compute(task_id: int):
+        mi, lo, hi = tasks[task_id]
+        sg = miss_sgs[mi]
+        if config.eliminate_pendants:
+            all_roots = sg.roots
+        else:
+            all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
+        tally = WorkCounter()
+        local = bc_subgraph(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            counter=tally,
+            roots=all_roots[lo:hi],
+            batch_size=config.batch_size,
+        )
+        verts = np.arange(offsets[mi], offsets[mi] + sg.num_vertices)
+        return verts, local, tally.edges
+
+    weights = [
+        (hi - lo) * max(miss_sgs[mi].num_arcs, 1) for mi, lo, hi in tasks
+    ]
+    supervisor = SupervisorConfig(
+        timeout=config.timeout,
+        max_retries=config.max_retries,
+        fallback=config.fallback,
+    )
+    concat, edge_total, batch_edges = _pooled_contributions(
+        compute,
+        weights,
+        n=int(offsets[-1]),
+        workers=config.workers,
+        steal=config.steal,
+        config=supervisor,
+        health=health,
+    )
+    counter.add(edge_total)
+    per_sg_edges = np.zeros(len(miss_sgs), dtype=np.int64)
+    for task_id, (mi, _lo, _hi) in enumerate(tasks):
+        per_sg_edges[mi] += batch_edges[task_id]
+    for mi, sg in enumerate(miss_sgs):
+        local = concat[offsets[mi] : offsets[mi + 1]]
+        store.put(keys[sg.index], local, int(per_sg_edges[mi]))
+        bc[sg.vertices] += local
+
+
 def apgre_bc(
     graph: CSRGraph,
     *,
@@ -372,6 +585,8 @@ def apgre_bc(
     batch_size=None,
     parallel_batched: bool = False,
     steal: bool = True,
+    cache=None,
+    cache_dir=None,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -381,7 +596,9 @@ def apgre_bc(
     policy of ``parallel="processes"`` runs; ``batch_size`` routes
     each sub-graph's roots through the multi-source batched kernel;
     ``parallel_batched`` moves the process pool onto the persistent
-    shared-memory path with ``steal`` toggling work stealing).
+    shared-memory path with ``steal`` toggling work stealing;
+    ``cache``/``cache_dir`` enable the decomposition-aware
+    contribution cache — see :mod:`repro.cache` and docs/CACHING.md).
     """
     kwargs = dict(
         parallel=parallel,
@@ -394,6 +611,8 @@ def apgre_bc(
         batch_size=batch_size,
         parallel_batched=parallel_batched,
         steal=steal,
+        cache=cache,
+        cache_dir=cache_dir,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

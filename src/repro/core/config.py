@@ -70,6 +70,20 @@ class APGREConfig:
         of the most-loaded peer (``parallel_batched`` runs only).
         ``False`` keeps the static LPT placement — kept as the
         measurable baseline the steal scheduler is compared against.
+    cache:
+        Enable the decomposition-aware contribution cache
+        (:mod:`repro.cache`): sub-graphs whose content fingerprint
+        (local edges + incoming α/β/γ summaries) is already stored
+        replay their scores instead of recomputing; misses fan out
+        through the configured parallel machinery and are stored.
+        ``True`` uses the process-global default store (shared across
+        runs), a :class:`~repro.cache.store.ContributionStore` is used
+        as-is, ``None``/``False`` disables caching (unless
+        ``cache_dir`` is set, which implies ``True``).
+    cache_dir:
+        Directory for the cache's persistent on-disk layer; setting it
+        enables caching. Separate processes and CLI invocations
+        pointed at the same directory share warmth.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -83,6 +97,8 @@ class APGREConfig:
     batch_size: Optional[Union[int, str]] = None
     parallel_batched: bool = False
     steal: bool = True
+    cache: object = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -119,6 +135,17 @@ class APGREConfig:
             raise AlgorithmError(
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
+        if self.cache is not None and not isinstance(self.cache, bool):
+            # duck-typed on purpose: importing repro.cache here would
+            # close an import cycle through the APGRE driver
+            if not (
+                callable(getattr(self.cache, "get", None))
+                and callable(getattr(self.cache, "put", None))
+            ):
+                raise AlgorithmError(
+                    "cache must be None, a bool, or a ContributionStore-"
+                    f"like object with get/put, got {self.cache!r}"
+                )
         if self.batch_size is not None:
             if isinstance(self.batch_size, str):
                 if self.batch_size != "auto":

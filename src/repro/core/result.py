@@ -81,7 +81,16 @@ class PhaseTimings:
 
 @dataclass
 class APGREStats:
-    """Counters describing one APGRE run."""
+    """Counters describing one APGRE run.
+
+    ``edges_traversed`` counts edges the run actually examined;
+    ``edges_replayed`` counts the examined-edge tallies of cached
+    sub-graph contributions that were *replayed* instead of
+    recomputed (cache-enabled runs only — docs/CACHING.md).  The two
+    are never mixed: TEPS over ``edges_traversed`` stays an honest
+    hardware rate, and ``edges_replayed`` quantifies the work the
+    cache eliminated.
+    """
 
     num_subgraphs: int = 0
     num_articulation_points: int = 0
@@ -89,6 +98,9 @@ class APGREStats:
     num_removed_pendants: int = 0
     num_sources: int = 0
     edges_traversed: int = 0
+    edges_replayed: int = 0
+    subgraphs_replayed: int = 0
+    subgraphs_recomputed: int = 0
     alpha_beta_pairs: int = 0
     alpha_beta_method: str = ""
     timings: PhaseTimings = field(default_factory=PhaseTimings)

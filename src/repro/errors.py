@@ -15,6 +15,7 @@ __all__ = [
     "PartitionError",
     "AlgorithmError",
     "BenchmarkError",
+    "CacheError",
     "ExecutionError",
     "WorkerCrashError",
     "TaskTimeoutError",
@@ -67,6 +68,16 @@ class BenchmarkError(ReproError):
 
     Raised by :mod:`repro.bench` for unknown experiment ids, empty
     workload selections and similar harness-level misuse.
+    """
+
+
+class CacheError(ReproError):
+    """The contribution cache was misconfigured or cannot persist.
+
+    Raised by :mod:`repro.cache` for invalid store budgets, a
+    ``cache_dir`` that cannot be written, or a store/``cache_dir``
+    configuration conflict. A *corrupted* on-disk entry is never an
+    error — it degrades to a cache miss and is recomputed.
     """
 
 

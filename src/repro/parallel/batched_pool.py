@@ -249,16 +249,18 @@ def _pooled_contributions(
     steal: bool = True,
     config: Optional[SupervisorConfig] = None,
     health: Optional[RunHealth] = None,
-) -> Tuple[np.ndarray, int]:
+) -> Tuple[np.ndarray, int, np.ndarray]:
     """Accumulate ``compute(batch_id)`` deltas across a supervised pool.
 
     ``compute`` maps a batch id to ``(verts, delta, edges)`` — ``delta``
     is added to the score vector (at ``verts`` when given, densely when
     ``None``) and ``edges`` is the batch's examined-edge tally.  It must
     be deterministic and safe to re-run (retries and poisoned-row
-    recovery recompute batches).  Returns ``(scores, edge_total)``; the
-    edge total is the exact sum of per-batch tallies, independent of
-    which worker ran what.
+    recovery recompute batches).  Returns ``(scores, edge_total,
+    batch_edges)``; the edge total is the exact sum of the per-batch
+    tallies in ``batch_edges``, independent of which worker ran what
+    (the contribution cache needs the per-batch breakdown to store
+    exact per-sub-graph tallies).
     """
     num = len(weights)
     config = config or SupervisorConfig()
@@ -266,24 +268,24 @@ def _pooled_contributions(
     health.tasks += num
     total = np.zeros(n, dtype=SCORE_DTYPE)
     if num == 0:
-        return total, 0
+        return total, 0, np.zeros(0, dtype=np.int64)
     if workers <= 1 or num == 1 or not _pool._supports_fork():
         # inline contract, mirroring supervised_map: bit-identical to
         # the serial chunk loop, no supervision (nothing can crash)
         health.inline = True
-        edge_total = 0
+        batch_edges = np.zeros(num, dtype=np.int64)
         for batch_id in range(num):
             verts, delta, edges = compute(batch_id)
             if verts is None:
                 total += delta
             else:
                 total[verts] += delta
-            edge_total += int(edges)
+            batch_edges[batch_id] = int(edges)
             health.outcomes.append(
                 TaskOutcome(task=batch_id, attempts=1, status="ok-pool",
                             events=["inline"])
             )
-        return total, edge_total
+        return total, int(batch_edges.sum()), batch_edges
 
     workers = min(workers, num)
     order = lpt_order(weights)          # payload p runs batch order[p]
@@ -366,8 +368,9 @@ def _pooled_contributions(
             scores.array[s] for s in range(used) if not poison_arr[s]
         ]
         total = tree_reduce(rows + [extra]) if rows else extra
-        edge_total = int(edges.array.sum(dtype=np.int64))
-    return total, edge_total
+        batch_edges = edges.array.copy()
+        edge_total = int(batch_edges.sum(dtype=np.int64))
+    return total, edge_total, batch_edges
 
 
 def batched_pool_bc_scores(
@@ -474,7 +477,7 @@ def batched_pool_bc_scores(
 
         weights = [float(hi - lo) for lo, hi in bounds]
         try:
-            total, edge_total = _pooled_contributions(
+            total, edge_total, _ = _pooled_contributions(
                 compute,
                 weights,
                 n=graph.n,

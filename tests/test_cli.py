@@ -221,6 +221,54 @@ class TestErrorHandling:
         assert "unknown algorithm" in err
 
 
+class TestCacheFlags:
+    def test_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["compute", "g.txt", "--cache", "--cache-dir", "/tmp/c",
+             "--delta", "d.txt"]
+        )
+        assert args.cache
+        assert args.cache_dir == "/tmp/c"
+        assert args.delta == "d.txt"
+
+    def test_compute_with_cache(self, graph_file, capsys):
+        assert main(["compute", graph_file, "--cache"]) == 0
+        assert "APGRE BC" in capsys.readouterr().out
+
+    def test_compute_delta(self, graph_file, tmp_path, capsys):
+        delta = tmp_path / "delta.txt"
+        delta.write_text("# widen the 1-3 block\n+ 0 3\n- 2 3\n")
+        code = main(["compute", graph_file, "--delta", str(delta)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+1/-1 edges" in out
+        assert "incremental:" in out
+
+    def test_cache_requires_apgre(self, graph_file, capsys):
+        code = main(
+            ["compute", graph_file, "--algorithm", "serial", "--cache"]
+        )
+        assert code == 2
+        assert "APGRE" in capsys.readouterr().err
+
+    def test_malformed_delta_exits_two(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad_delta.txt"
+        bad.write_text("+ 0 1\n* 2 3\n")
+        code = main(["compute", graph_file, "--delta", str(bad)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-bc: error:")
+        assert "bad_delta.txt:2" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_out_of_range_delta_exits_two(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "oob_delta.txt"
+        bad.write_text("+ 0 99\n")
+        code = main(["compute", graph_file, "--delta", str(bad)])
+        assert code == 2
+        assert "repro-bc: error:" in capsys.readouterr().err
+
+
 class TestSupervisionFlags:
     def test_compute_flags_parse(self):
         args = build_parser().parse_args(

@@ -40,6 +40,7 @@ class TestReadmePromises:
             "EXPERIMENTS.md",
             "docs/ALGORITHM.md",
             "docs/API.md",
+            "docs/CACHING.md",
             "docs/PERFORMANCE.md",
             "docs/ROBUSTNESS.md",
             "docs/TUTORIAL.md",

@@ -567,6 +567,54 @@ class TestParallelBatchedUnderFaults:
                     config=SupervisorConfig(max_retries=1, fallback=False),
                 )
 
+    def test_kill_mid_recompute_never_poisons_cache(self, graph):
+        # A worker killed mid-recompute must never commit a poisoned
+        # contribution: entries are admitted parent-side only after the
+        # pool's poisoned-slot recovery, so the warm replay of a store
+        # populated under a crash must be byte-exact (docs/CACHING.md).
+        from repro.cache import ContributionStore
+        from repro.core.apgre import apgre_bc_detailed
+        from repro.core.config import APGREConfig
+
+        store = ContributionStore()
+        config = APGREConfig(
+            parallel="processes", workers=2, batch_size=5, cache=store
+        )
+        with injected_faults(FaultSpec("kill", task=1)):
+            cold = apgre_bc_detailed(graph, config)
+        assert cold.health.worker_crashes >= 1
+        assert store.stats.puts > 0
+        warm = apgre_bc_detailed(graph, config)
+        np.testing.assert_allclose(
+            warm.scores, cold.scores, rtol=1e-9, atol=1e-9
+        )
+        assert warm.stats.edges_traversed == 0
+        assert warm.stats.edges_replayed == cold.stats.edges_traversed
+
+    def test_persistent_kill_cache_survives_serial_rung(self, graph):
+        # Even when the pool is abandoned for the serial rung, the
+        # entries admitted along the way replay exactly.
+        from repro.cache import ContributionStore
+        from repro.core.apgre import apgre_bc_detailed
+        from repro.core.config import APGREConfig
+
+        store = ContributionStore()
+        config = APGREConfig(
+            parallel="processes",
+            workers=2,
+            batch_size=5,
+            max_retries=1,
+            cache=store,
+        )
+        with injected_faults(FaultSpec("kill", task=2, attempts=ALWAYS)):
+            cold = apgre_bc_detailed(graph, config)
+        assert cold.health.degraded
+        warm = apgre_bc_detailed(graph, config)
+        np.testing.assert_allclose(
+            warm.scores, cold.scores, rtol=1e-9, atol=1e-9
+        )
+        assert warm.stats.edges_traversed == 0
+
     def test_steal_disabled_still_recovers(self, graph, serial):
         ref_scores, ref_edges = serial
         with injected_faults(FaultSpec("kill", task=3)):

@@ -112,6 +112,35 @@ class TestScheduler:
     def test_lpt_order_stable_ties(self):
         assert lpt_order([2, 2, 2]) == [0, 1, 2]
 
+    def test_lpt_order_empty(self):
+        assert lpt_order([]) == []
+
+    def test_lpt_order_singleton(self):
+        assert lpt_order([42.0]) == [0]
+
+    def test_lpt_order_all_equal_is_identity(self):
+        # Equal weights must come back in input order — the stable
+        # sort guarantee that makes scheduling deterministic.
+        assert lpt_order([7.0] * 6) == list(range(6))
+
+    def test_lpt_order_mixed_ties_deterministic(self):
+        sizes = [3, 5, 3, 5, 1]
+        expected = [1, 3, 0, 2, 4]
+        for _ in range(3):
+            assert lpt_order(sizes) == expected
+
+    def test_lpt_order_accepts_numpy_array(self):
+        assert lpt_order(np.array([1.0, 9.0, 4.0])) == [1, 2, 0]
+
+    def test_assign_single_worker_gets_everything(self):
+        sizes = [2.0, 5.0, 1.0]
+        bins = assign_lpt(sizes, 1)
+        assert len(bins) == 1
+        assert bins[0] == lpt_order(sizes)
+
+    def test_assign_empty_sizes(self):
+        assert assign_lpt([], 3) == [[], [], []]
+
     def test_assign_all_tasks_once(self):
         sizes = [5, 3, 8, 1, 9, 2]
         bins = assign_lpt(sizes, 3)
