@@ -1,0 +1,201 @@
+"""Compression-layer smoke bench: Brandes vs APGRE vs compressed APGRE.
+
+A small deterministic perf artifact for the structural compression
+layer (:mod:`repro.compress`): one twin-heavy power-law analogue and
+one chain-heavy road analogue, full end-to-end runs of Brandes, plain
+APGRE and ``compress=True`` APGRE, recorded as wall-clock seconds with
+the per-rule elimination tallies (twin merges, chain interiors,
+pendant peels) and the compression ratio.  Results land in
+``benchmarks/results/bench_compress.json`` each run; the first
+recorded numbers are committed as ``benchmarks/BENCH_compress.json``
+(schema_version 2 with an environment provenance block) so later PRs
+have a perf trajectory to compare against.
+
+The compression counters never feed TEPS — eliminated vertices do no
+traversal work, so only wall-clock and the examined-edge tally of the
+run that actually happened are recorded.
+
+Honest numbers note: the headline >= 1.5x floor is end-to-end
+compressed-APGRE against *Brandes*; the ``speedup_vs_plain`` column
+records the marginal win of compression over plain APGRE honestly,
+and it is modest (~1.1-1.4x on these workloads) or even slightly
+below 1x on peel-heavy power-law graphs: pendant elimination already
+removes most of what twin merging would, and the compressed kernel
+pays integer-Dijkstra sweeps for super-edges where the plain kernel
+runs unit BFS.  The floor asserted per rule below guards the achieved
+level of each column, not the aspiration.
+
+Run directly (``python benchmarks/bench_compress.py [--quick]``) or
+via pytest (``pytest benchmarks/bench_compress.py --benchmark-only``).
+``--quick`` shrinks the workloads for the CI smoke job.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.bench.persistence import environment_provenance
+from repro.bench.workloads import get_graph
+from repro.compress import compression_plan
+from repro.core.apgre import apgre_bc_detailed
+from repro.core.config import APGREConfig
+from repro.decompose.alphabeta import compute_alpha_beta
+from repro.decompose.partition import graph_partition
+
+pytestmark = pytest.mark.benchmarks
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_compress.json"
+
+#: (suite graph, scale, floor for compressed-vs-Brandes speedup) — one
+#: twin/peel-heavy power-law analogue and one chain-heavy road
+#: analogue, the two structural regimes the reduction ladder targets.
+WORKLOADS = [
+    ("com-youtube", 3.0, 1.5),
+    ("USA-roadBAY", 1.5, 1.5),
+]
+QUICK_WORKLOADS = [
+    ("com-youtube", 1.0, 1.0),
+    ("USA-roadBAY", 1.0, 1.0),
+]
+SEED = 42
+REPEAT = 2  # best-of: absorbs one-off scheduler noise
+
+
+def _best_of(fn, repeat=REPEAT):
+    best = None
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _plan_tallies(graph):
+    """Per-rule elimination tallies summed over the sub-graph plans."""
+    part = graph_partition(graph)
+    compute_alpha_beta(graph, part)
+    plans = [compression_plan(sg) for sg in part.subgraphs]
+    return {
+        "n_original": int(sum(p.n for p in plans)),
+        "n_compressed": int(sum(p.n_core for p in plans)),
+        "vertices_merged": int(sum(p.vertices_merged for p in plans)),
+        "chains_contracted": int(sum(p.chain_interiors for p in plans)),
+        "vertices_peeled": int(sum(p.vertices_peeled for p in plans)),
+        "twin_classes": int(sum(len(p.twin_classes) for p in plans)),
+        "chains": int(sum(len(p.chains) for p in plans)),
+    }
+
+
+def measure_workload(name, scale, floor, repeat=REPEAT):
+    """One graph's three-way end-to-end measurement row."""
+    graph = get_graph(name, scale=scale)
+    ref, t_brandes = _best_of(lambda: brandes_bc(graph), repeat)
+    plain, t_plain = _best_of(lambda: apgre_bc_detailed(graph), repeat)
+    comp, t_comp = _best_of(
+        lambda: apgre_bc_detailed(graph, APGREConfig(compress=True)), repeat
+    )
+    # exactness vs uncompressed Brandes, the acceptance tolerance
+    np.testing.assert_allclose(comp.scores, ref, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(plain.scores, ref, rtol=1e-9, atol=1e-9)
+    tallies = _plan_tallies(graph)
+    # exact-inversion identity: every eliminated vertex is accounted
+    # to exactly one rule
+    assert (
+        tallies["vertices_merged"]
+        + tallies["chains_contracted"]
+        + tallies["vertices_peeled"]
+        == tallies["n_original"] - tallies["n_compressed"]
+    ), f"tallies identity violated on {name}"
+    stats = comp.stats
+    assert stats.vertices_merged == tallies["vertices_merged"]
+    assert stats.chains_contracted == tallies["chains_contracted"]
+    return {
+        "graph": name,
+        "scale": scale,
+        "n": graph.n,
+        "m": graph.num_arcs,
+        "brandes_seconds": round(t_brandes, 4),
+        "apgre_seconds": round(t_plain, 4),
+        "compressed_seconds": round(t_comp, 4),
+        "speedup_vs_brandes": round(t_brandes / t_comp, 3),
+        "speedup_vs_plain": round(t_plain / t_comp, 3),
+        "floor_vs_brandes": floor,
+        "compression_ratio": round(stats.compression_ratio, 3),
+        "tallies": tallies,
+    }
+
+
+def run_bench(workloads, repeat=REPEAT, results_path=None):
+    rows = [measure_workload(*w, repeat=repeat) for w in workloads]
+    payload = {
+        "bench": "bench_compress",
+        "schema_version": 2,
+        "environment": environment_provenance(),
+        "seed": SEED,
+        "repeat": repeat,
+        "workloads": rows,
+    }
+    if results_path is not None:
+        results_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    for row in rows:
+        assert row["speedup_vs_brandes"] >= row["floor_vs_brandes"], (
+            f"compressed APGRE regressed on {row['graph']}: "
+            f"{row['speedup_vs_brandes']}x vs Brandes "
+            f"(floor {row['floor_vs_brandes']}x)"
+        )
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        base_rows = {r["graph"]: r for r in baseline["workloads"]}
+        for row in rows:
+            base = base_rows.get(row["graph"])
+            if base is None or base["scale"] != row["scale"]:
+                continue
+            assert (
+                row["speedup_vs_brandes"]
+                >= 0.5 * base["speedup_vs_brandes"]
+            ), (
+                f"{row['graph']}: {row['speedup_vs_brandes']}x fell to "
+                f"less than half the committed baseline "
+                f"{base['speedup_vs_brandes']}x"
+            )
+            # the reduction ladder is deterministic: the committed
+            # per-rule tallies must reproduce exactly
+            assert row["tallies"] == base["tallies"], (
+                f"{row['graph']}: elimination tallies drifted from the "
+                f"committed baseline"
+            )
+    return payload
+
+
+def test_compress_smoke(results_dir):
+    run_bench(WORKLOADS, results_path=results_dir / "bench_compress.json")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads + single repeat (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        run_bench(QUICK_WORKLOADS, repeat=1)
+    else:
+        results = Path(__file__).resolve().parent / "results"
+        results.mkdir(exist_ok=True)
+        run_bench(WORKLOADS, results_path=results / "bench_compress.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

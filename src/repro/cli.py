@@ -149,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         "then only the sub-graphs the delta dirtied are recomputed "
         "(implies --cache)",
     )
+    p_compute.add_argument(
+        "--compress",
+        action="store_true",
+        help="run each sub-graph through the structural compression "
+        "ladder first (APGRE only): twin merging, chain contraction "
+        "and pendant folding shrink the sweeps; scores are identical",
+    )
 
     p_part = sub.add_parser("partition", help="decomposition statistics")
     p_part.add_argument("graph", help="path to a graph file")
@@ -284,6 +291,15 @@ def _cmd_compute(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.compress:
+        if args.algorithm != "APGRE":
+            print(
+                f"repro-bc: error: --compress needs the decomposition "
+                f"and is not supported by {args.algorithm!r} (use APGRE)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["compress"] = True
     if args.delta is not None:
         return _compute_delta(args, graph, kwargs)
     if cache_on:

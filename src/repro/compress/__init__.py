@@ -1,0 +1,35 @@
+"""Structural graph compression: twin merging + chain contraction.
+
+The reduction ladder (:mod:`repro.compress.ladder`) shrinks each
+partition sub-graph to its structural core — pendants folded, twin
+classes merged, degree-2 chains contracted to weighted super-edges —
+and the compressed kernel (:mod:`repro.compress.kernel`) runs the
+APGRE four-dependency sweeps on the core, inverting the compression
+exactly (BC matches the uncompressed kernels to float64 tolerance).
+"""
+
+from repro.compress.kernel import bc_subgraph_compressed
+from repro.compress.ladder import build_plan
+from repro.compress.plan import (
+    STATUS_CHAIN,
+    STATUS_CORE,
+    STATUS_PEELED,
+    STATUS_TWIN,
+    Chain,
+    SubgraphPlan,
+    TwinClass,
+    compression_plan,
+)
+
+__all__ = [
+    "bc_subgraph_compressed",
+    "build_plan",
+    "compression_plan",
+    "SubgraphPlan",
+    "TwinClass",
+    "Chain",
+    "STATUS_CORE",
+    "STATUS_PEELED",
+    "STATUS_TWIN",
+    "STATUS_CHAIN",
+]

@@ -1,0 +1,224 @@
+"""The compressed per-sub-graph BC kernel.
+
+Executes one :class:`~repro.compress.plan.SubgraphPlan` and returns
+scores in the sub-graph's *original* local id space, bit-for-bit
+compatible with :func:`repro.core.bc_subgraph.bc_subgraph` up to
+float64 associativity.  Four contribution channels:
+
+1. **Core sweeps** — one generalized sweep per live representative on
+   the compressed graph.  A rep standing for ``cnt`` chunk roots (plus
+   γ folded tree sources) carries source mass ``m_src = cnt + γ``;
+   the merge mirrors Algorithm 2 line 46 with two extra terms that
+   replace what elimination hid: ``m_src·pfold(v)`` (paths ending at
+   v's folded pendants pass through v) and, for articulation sources,
+   ``β(s)·pfold(v)``.
+2. **Super-edge flow** — core sweeps accumulate the merge-weighted
+   pair mass crossing each super-edge arc; every interior of the
+   contracted chain lies on every such path, so after all core sweeps
+   each interior is credited ``flow[u→v] + flow[v→u]``.
+3. **Interior-endpoint sweeps** — pairs with a chain interior as an
+   endpoint never appear in core sweeps (interiors have no mass in the
+   compressed graph).  Each interior root runs one unit sweep on the
+   *expanded* graph with doubled target mass / doubled α seeds: the
+   sub-graph is undirected (α == β), so the ``i → t`` sweep stands for
+   ``t → i`` too.  Interior-interior pairs keep mass 1 because both
+   endpoints run their own sweep.
+4. **Within-class credit** — a type-I twin class's members sit at
+   distance 2 through exactly their common neighbourhood, so the
+   member-to-member pairs are credited analytically:
+   ``cnt·(k−1)·μ(c)/σ_within`` per neighbour class ``c``.  Type-II
+   members are adjacent — no intermediates, nothing to credit.
+
+Inversion divides each representative's score by its multiplicity
+(class members are interchangeable under the class automorphism, so
+equal shares are exact) and zeroes the peeled pendants, whose local
+BC is identically zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter
+from repro.compress.plan import (
+    STATUS_CHAIN,
+    STATUS_PEELED,
+    TWIN_OPEN,
+    SubgraphPlan,
+    compression_plan,
+)
+from repro.compress.sweep import unit_sweep, weighted_sweep
+from repro.decompose.partition import Subgraph
+from repro.types import SCORE_DTYPE, VERTEX_DTYPE
+
+__all__ = ["bc_subgraph_compressed"]
+
+
+def bc_subgraph_compressed(
+    sg: Subgraph,
+    plan: Optional[SubgraphPlan] = None,
+    *,
+    eliminate_pendants: bool = True,
+    counter: Optional[WorkCounter] = None,
+    roots: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Local BC scores of one sub-graph via its compression plan.
+
+    Drop-in for :func:`repro.core.bc_subgraph.bc_subgraph`: same
+    contract, same root-subset linearity (chunked calls sum to the
+    full scores), scores returned in the original local id space.
+    """
+    g = sg.graph
+    n = g.n
+    if plan is None:
+        plan = compression_plan(sg, eliminate_pendants=eliminate_pendants)
+    bc = np.zeros(n, dtype=SCORE_DTYPE)
+    if n == 0:
+        return bc
+    if eliminate_pendants:
+        gamma = sg.gamma
+        if roots is None:
+            roots = sg.roots
+    else:
+        gamma = np.zeros(n, dtype=SCORE_DTYPE)
+        if roots is None:
+            roots = np.arange(n, dtype=VERTEX_DTYPE)
+    if not plan.nontrivial:
+        from repro.core.bc_subgraph import bc_subgraph
+
+        return bc_subgraph(
+            sg,
+            eliminate_pendants=eliminate_pendants,
+            counter=counter,
+            roots=roots,
+        )
+
+    alpha = sg.alpha
+    beta = sg.beta
+    is_art = sg.is_boundary_art
+    roots = np.asarray(roots)
+    mult_f = plan.mult.astype(SCORE_DTYPE)
+    pfold_f = plan.pfold.astype(SCORE_DTYPE)
+    tmass = mult_f + pfold_f
+
+    chain_mask = plan.status == STATUS_CHAIN
+    interior_roots = roots[chain_mask[roots]]
+    counts = plan.class_count(roots[~chain_mask[roots]])
+    flow = (
+        np.zeros(plan.core_graph.num_arcs, dtype=SCORE_DTYPE)
+        if plan.chains
+        else None
+    )
+
+    # ---- 1+2: core sweeps (with super-edge flow capture) -------------
+    for r in np.flatnonzero(counts).tolist():
+        cnt = float(counts[r])
+        g_r = float(gamma[r])
+        m_src = cnt + g_r
+        if plan.has_lengths:
+            sw = weighted_sweep(
+                plan,
+                r,
+                mu=mult_f,
+                tmass=tmass,
+                alpha_seed=alpha,
+                beta=beta,
+                is_art=is_art,
+                m_src=m_src,
+                flow=flow,
+                counter=counter,
+            )
+        else:
+            sw = unit_sweep(
+                plan.core_graph,
+                r,
+                mu=mult_f,
+                tmass=tmass,
+                alpha_seed=alpha,
+                beta=beta,
+                is_art=is_art,
+                counter=counter,
+            )
+        reached = sw.reached
+        if reached.size:
+            contrib = m_src * (
+                sw.delta_i2i[reached]
+                + sw.delta_i2o[reached]
+                + pfold_f[reached]
+            )
+            if sw.source_is_art:
+                contrib = (
+                    contrib
+                    + sw.beta_s
+                    * (sw.delta_i2i[reached] + pfold_f[reached])
+                    + sw.delta_o2o[reached]
+                )
+            np.add.at(bc, reached, contrib)
+        if g_r:
+            # γ derived pendant sources: as in the plain kernel's
+            # line-48 correction, plus the pfold targets the fold hid
+            # (minus the derived source itself, undirected)
+            self_i2i = sw.delta_i2i[r] + pfold_f[r] - 1.0
+            self_i2o = sw.delta_i2o[r] + (
+                float(alpha[r]) if sw.source_is_art else 0.0
+            )
+            bc[r] += g_r * (self_i2i + self_i2o)
+
+    # ---- 2: credit chain interiors with the crossing pair mass ------
+    if flow is not None:
+        for ch in plan.chains:
+            f = float(flow[ch.arc_uv]) + float(flow[ch.arc_vu])
+            if f:
+                bc[ch.interiors] += f
+
+    # ---- 3: interior-endpoint sweeps on the expanded graph ----------
+    if interior_roots.size:
+        tmass_e = 2.0 * tmass
+        tmass_e[chain_mask] = 1.0
+        alpha_f = np.asarray(alpha, dtype=SCORE_DTYPE)
+        alpha2 = 2.0 * alpha_f
+        # An articulation point's own α seed must only count the
+        # forward (i → out) direction: the reverse pairs' credit at
+        # the art itself belongs to the neighbouring sub-graph under
+        # the equation-7 split.  Intermediates strictly between the
+        # interior and the art keep the doubled (propagated) credit.
+        art_own = np.where(is_art, alpha_f, 0.0)
+        for i in interior_roots.tolist():
+            sw = unit_sweep(
+                plan.expanded_graph,
+                i,
+                mu=mult_f,
+                tmass=tmass_e,
+                alpha_seed=alpha2,
+                beta=beta,
+                is_art=is_art,
+                counter=counter,
+            )
+            reached = sw.reached
+            if reached.size:
+                np.add.at(
+                    bc,
+                    reached,
+                    sw.delta_i2i[reached]
+                    + sw.delta_i2o[reached]
+                    + 2.0 * pfold_f[reached]
+                    - art_own[reached],
+                )
+
+    # ---- 4: within-class analytic credit (type-I only) --------------
+    for tc in plan.twin_classes:
+        cnt = int(counts[tc.rep])
+        if cnt == 0 or tc.kind != TWIN_OPEN:
+            continue
+        k = float(plan.mult[tc.rep])
+        if tc.sigma_within > 0.0:
+            bc[tc.neighbors] += (
+                cnt * (k - 1.0) * mult_f[tc.neighbors] / tc.sigma_within
+            )
+
+    # ---- inversion ---------------------------------------------------
+    out = bc[plan.rep] / mult_f[plan.rep]
+    out[plan.status == STATUS_PEELED] = 0.0
+    return out

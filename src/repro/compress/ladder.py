@@ -1,0 +1,470 @@
+"""The reduction ladder: pendant fold → twin merge → chain contract.
+
+Runs the three structural reductions on one partition sub-graph until
+no rule fires, producing the :class:`~repro.compress.plan.SubgraphPlan`
+the compressed kernel executes.  Every rule is gated so the weighted
+four-dependency algebra of :mod:`repro.compress.kernel` stays *exact*:
+
+* **pendant fold** — exactly the partition's single-level ``removed``
+  set (degree-1 non-articulation sources) folds into its parents via
+  the shared :func:`repro.graph.kcore.two_core` peel, as endpoint
+  mass ``pfold``.  Parents keep their γ, and the kernel's corrected
+  self-term replaces the per-pendant targets the fold hides.
+* **twin merge** — candidates must be non-articulation roots with
+  ``γ = 0``, no folded pendants, and only unit incident edges (a
+  super-edge neighbour would break the expanded-graph distance
+  algebra for interior sweeps).  Classes are detected by randomized
+  neighbourhood hashing and confirmed by exact neighbourhood
+  comparison; type-I (open) and type-II (closed) classes never mix
+  across rounds, because a mixed class has non-uniform intra-class
+  distances and no closed-form within-class credit.
+* **chain contract** — maximal paths of pristine (``w = μ = 1``)
+  degree-2 vertices with unit incident edges collapse into one
+  integer-length super-edge.  Cycles (``u == v``) and chains that
+  would create a parallel edge are skipped: the CSR is simple, and a
+  dropped parallel super-edge would silently lose its interiors'
+  flow credit.
+
+The ladder operates on a single-orientation ``(src, dst, length)``
+arc list and rebuilds small CSR adjacencies per round; rounds repeat
+until a full twin+chain pass eliminates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.compress.plan import (
+    STATUS_CHAIN,
+    STATUS_CORE,
+    STATUS_PEELED,
+    STATUS_TWIN,
+    TWIN_CLOSED,
+    TWIN_OPEN,
+    Chain,
+    SubgraphPlan,
+    TwinClass,
+)
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.types import INDPTR_DTYPE, VERTEX_DTYPE
+
+__all__ = ["build_plan"]
+
+#: fixed seed for the neighbourhood-hash weights — plans must be
+#: deterministic (cache keys and fork-worker rebuilds depend on it)
+_HASH_SEED = 0x5EEDC0DE
+
+
+def _csr_with_lengths(
+    n: int, asrc: np.ndarray, adst: np.ndarray, alen: np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Build an undirected CSR plus a per-arc length array.
+
+    ``CSRGraph.from_arcs`` re-sorts internally, which would break the
+    arc↔length alignment, so this mirrors its lexsort directly: arcs
+    are doubled into both orientations and sorted row-major, and the
+    returned lengths follow the exact ``graph.arcs()`` order.
+    """
+    bsrc = np.concatenate([asrc, adst])
+    bdst = np.concatenate([adst, asrc])
+    blen = np.concatenate([alen, alen])
+    order = np.lexsort((bdst, bsrc))
+    indices = bdst[order].astype(VERTEX_DTYPE, copy=False)
+    counts = np.bincount(bsrc, minlength=n).astype(INDPTR_DTYPE, copy=False)
+    indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    graph = CSRGraph(n, indptr, indices, indptr, indices, directed=False)
+    return graph, blen[order]
+
+
+def _arc_index(graph: CSRGraph, u: int, v: int) -> int:
+    """Position of arc ``u -> v`` in the CSR arc order."""
+    lo, hi = int(graph.out_indptr[u]), int(graph.out_indptr[u + 1])
+    row = graph.out_indices[lo:hi]
+    pos = int(np.searchsorted(row, v))
+    if pos >= row.size or row[pos] != v:  # pragma: no cover - invariant
+        raise AlgorithmError(f"super-edge {u}->{v} missing from core CSR")
+    return lo + pos
+
+
+class _Ladder:
+    """Mutable reduction state for one sub-graph."""
+
+    def __init__(self, sg, eliminate_pendants: bool) -> None:
+        g = sg.graph
+        self.n = g.n
+        self.status = np.zeros(self.n, dtype=np.int8)
+        self.rep = np.arange(self.n, dtype=np.int64)
+        self.mult = np.ones(self.n, dtype=np.int64)
+        self.pfold = np.zeros(self.n, dtype=np.int64)
+        self.kind_of = np.zeros(self.n, dtype=np.int8)
+        src, dst = g.arcs()
+        one_way = src < dst
+        self.asrc = src[one_way].astype(np.int64)
+        self.adst = dst[one_way].astype(np.int64)
+        self.alen = np.ones(self.asrc.size, dtype=np.int64)
+        self.chains: List[Tuple[int, int, np.ndarray]] = []
+        gamma_pos = (
+            sg.gamma > 0 if eliminate_pendants else np.zeros(self.n, bool)
+        )
+        self.protected = np.asarray(sg.is_boundary_art, bool) | gamma_pos
+        rng = np.random.default_rng(_HASH_SEED)
+        self.r1 = rng.integers(0, 2**63, size=self.n, dtype=np.uint64)
+        self.r2 = rng.integers(0, 2**63, size=self.n, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # pendant fold
+    # ------------------------------------------------------------------
+    def fold_pendants(self, sg) -> None:
+        """Fold the partition's ``removed`` pendants into their parents."""
+        from repro.graph.kcore import two_core
+
+        if sg.removed.size == 0:
+            return
+        eligible = np.zeros(self.n, dtype=bool)
+        eligible[sg.removed] = True
+        peel = two_core(sg.graph, eligible=eligible)
+        peeled = peel.peel_order
+        self.status[peeled] = STATUS_PEELED
+        np.add.at(self.pfold, peel.peel_parent[peeled], 1)
+        # parents now carry hidden endpoint mass; they must stay core
+        self.protected |= self.pfold > 0
+        gone = np.zeros(self.n, dtype=bool)
+        gone[peeled] = True
+        keep = ~gone[self.asrc] & ~gone[self.adst]
+        self.asrc, self.adst = self.asrc[keep], self.adst[keep]
+        self.alen = self.alen[keep]
+
+    # ------------------------------------------------------------------
+    # per-round adjacency
+    # ------------------------------------------------------------------
+    def _round_adjacency(self):
+        graph, lengths = _csr_with_lengths(
+            self.n, self.asrc, self.adst, self.alen
+        )
+        deg = np.diff(graph.out_indptr)
+        nonunit = np.zeros(self.n, dtype=bool)
+        heavy = self.alen > 1
+        nonunit[self.asrc[heavy]] = True
+        nonunit[self.adst[heavy]] = True
+        return graph, deg, nonunit
+
+    # ------------------------------------------------------------------
+    # twin merging
+    # ------------------------------------------------------------------
+    def merge_twins(self) -> int:
+        graph, deg, nonunit = self._round_adjacency()
+        base = (
+            (self.status == STATUS_CORE)
+            & ~self.protected
+            & (deg >= 1)
+            & ~nonunit
+            & (self.pfold == 0)
+        )
+        if not base.any():
+            return 0
+        s1 = np.zeros(self.n, dtype=np.uint64)
+        s2 = np.zeros(self.n, dtype=np.uint64)
+        np.add.at(s1, self.asrc, self.r1[self.adst])
+        np.add.at(s1, self.adst, self.r1[self.asrc])
+        np.add.at(s2, self.asrc, self.r2[self.adst])
+        np.add.at(s2, self.adst, self.r2[self.asrc])
+
+        merged_now = np.zeros(self.n, dtype=bool)
+        eliminated = 0
+        for kind in (TWIN_OPEN, TWIN_CLOSED):
+            # classes never mix detection kinds: the within-class
+            # credit needs uniform intra-class distances (2 for open,
+            # 1 for closed), which a mixed merge would break
+            ok_kind = (self.kind_of == 0) | (self.kind_of == kind)
+            cand = np.flatnonzero(base & ok_kind & ~merged_now)
+            if cand.size < 2:
+                continue
+            if kind == TWIN_OPEN:
+                k1, k2 = s1[cand], s2[cand]
+            else:
+                k1 = s1[cand] + self.r1[cand]
+                k2 = s2[cand] + self.r2[cand]
+            order = np.lexsort((k2, k1, deg[cand]))
+            cand = cand[order]
+            k1, k2, dg = k1[order], k2[order], deg[cand]
+            same = (
+                (k1[1:] == k1[:-1])
+                & (k2[1:] == k2[:-1])
+                & (dg[1:] == dg[:-1])
+            )
+            bounds = np.flatnonzero(~same) + 1
+            starts = np.concatenate([[0], bounds])
+            ends = np.concatenate([bounds, [cand.size]])
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                if hi - lo < 2:
+                    continue
+                eliminated += self._merge_group(
+                    graph, cand[lo:hi], kind, merged_now
+                )
+        if eliminated:
+            self._remap_arcs()
+        return eliminated
+
+    def _neighborhood(self, graph: CSRGraph, v: int, kind: int) -> np.ndarray:
+        row = graph.out_neighbors(v)
+        if kind == TWIN_OPEN:
+            return row
+        return np.insert(row, np.searchsorted(row, v), v)
+
+    def _merge_group(
+        self, graph, group: np.ndarray, kind: int, merged_now: np.ndarray
+    ) -> int:
+        """Exact-verify one hash group and merge its true classes."""
+        classes: List[List[int]] = []
+        nbhds: List[np.ndarray] = []
+        for v in group.tolist():
+            nb = self._neighborhood(graph, v, kind)
+            for ci, ref in enumerate(nbhds):
+                if np.array_equal(nb, ref):
+                    classes[ci].append(v)
+                    break
+            else:
+                classes.append([v])
+                nbhds.append(nb)
+        eliminated = 0
+        for cls in classes:
+            if len(cls) < 2:
+                continue
+            members = np.asarray(cls, dtype=np.int64)
+            rep = int(members.min())
+            others = members[members != rep]
+            self.rep[others] = rep
+            self.status[others] = STATUS_TWIN
+            self.mult[rep] += int(self.mult[others].sum())
+            self.kind_of[rep] = kind
+            merged_now[members] = True
+            eliminated += others.size
+        return eliminated
+
+    def _remap_arcs(self) -> None:
+        """Send merged members' arcs to their reps; dedupe."""
+        mapping = np.arange(self.n, dtype=np.int64)
+        twins = self.status == STATUS_TWIN
+        mapping[twins] = self.rep[twins]
+        src = mapping[self.asrc]
+        dst = mapping[self.adst]
+        keep = src != dst  # intra-class edges of type-II classes
+        src, dst, lens = src[keep], dst[keep], self.alen[keep]
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        pair = lo * self.n + hi
+        uniq, first, inv = np.unique(
+            pair, return_index=True, return_inverse=True
+        )
+        if uniq.size != pair.size:
+            # duplicates may only arise from parallel unit edges of
+            # one class (members share neighbourhoods); a mixed-length
+            # group would silently drop a super-edge's interiors
+            gmin = np.full(uniq.size, np.iinfo(np.int64).max)
+            gmax = np.zeros(uniq.size, dtype=np.int64)
+            np.minimum.at(gmin, inv, lens)
+            np.maximum.at(gmax, inv, lens)
+            if not np.array_equal(gmin, gmax):  # pragma: no cover
+                raise AlgorithmError("twin merge collapsed mixed-length arcs")
+        self.asrc, self.adst = lo[first], hi[first]
+        self.alen = lens[first]
+
+    # ------------------------------------------------------------------
+    # chain contraction
+    # ------------------------------------------------------------------
+    def contract_chains(self) -> int:
+        graph, deg, nonunit = self._round_adjacency()
+        cand = (
+            (self.status == STATUS_CORE)
+            & ~self.protected
+            & (deg == 2)
+            & (self.mult == 1)
+            & (self.pfold == 0)
+            & ~nonunit
+        )
+        if not cand.any():
+            return 0
+        edge_keys = set(
+            (self.asrc * self.n + self.adst).tolist()
+        )
+        visited = np.zeros(self.n, dtype=bool)
+        eliminated = 0
+        new_src: List[int] = []
+        new_dst: List[int] = []
+        new_len: List[int] = []
+        dead = np.zeros(self.n, dtype=bool)
+        for c in np.flatnonzero(cand).tolist():
+            if visited[c]:
+                continue
+            visited[c] = True
+            nb = graph.out_neighbors(c)
+            right, v_end = self._walk(graph, cand, c, int(nb[1]))
+            if v_end == c:  # pure candidate cycle: nothing to anchor on
+                visited[right] = True
+                continue
+            left, u_end = self._walk(graph, cand, c, int(nb[0]))
+            interiors = np.asarray(
+                left[::-1] + [c] + right, dtype=np.int64
+            )
+            visited[interiors] = True
+            if u_end == v_end:  # attached cycle would self-loop
+                continue
+            lo = min(u_end, v_end)
+            hi = max(u_end, v_end)
+            key = lo * self.n + hi
+            if key in edge_keys:  # parallel super-edge: CSR is simple
+                continue
+            edge_keys.add(key)
+            if u_end != lo:
+                interiors = interiors[::-1].copy()
+            self.status[interiors] = STATUS_CHAIN
+            dead[interiors] = True
+            self.chains.append((lo, hi, interiors))
+            new_src.append(lo)
+            new_dst.append(hi)
+            new_len.append(interiors.size + 1)
+            eliminated += interiors.size
+        if eliminated:
+            keep = ~dead[self.asrc] & ~dead[self.adst]
+            self.asrc = np.concatenate(
+                [self.asrc[keep], np.asarray(new_src, dtype=np.int64)]
+            )
+            self.adst = np.concatenate(
+                [self.adst[keep], np.asarray(new_dst, dtype=np.int64)]
+            )
+            self.alen = np.concatenate(
+                [self.alen[keep], np.asarray(new_len, dtype=np.int64)]
+            )
+        return eliminated
+
+    def _walk(self, graph, cand, origin: int, start: int):
+        """Follow degree-2 candidates from ``origin`` toward ``start``.
+
+        Returns the interior vertices passed (excluding ``origin``)
+        and the first non-candidate endpoint (or ``origin`` again for
+        a pure candidate cycle).
+        """
+        path: List[int] = []
+        prev, cur = origin, start
+        while cand[cur] and cur != origin:
+            path.append(cur)
+            nb = graph.out_neighbors(cur)
+            nxt = int(nb[0]) if int(nb[1]) == prev else int(nb[1])
+            prev, cur = cur, nxt
+        return path, cur
+
+
+def _resolve_reps(rep: np.ndarray) -> np.ndarray:
+    """Path-compress the rep mapping (members may chain across rounds)."""
+    while True:
+        nxt = rep[rep]
+        if np.array_equal(nxt, rep):
+            return rep
+        rep = nxt
+
+
+def build_plan(sg, *, eliminate_pendants: bool = True) -> SubgraphPlan:
+    """Run the reduction ladder to fixpoint on one sub-graph."""
+    g = sg.graph
+    n = g.n
+    if g.directed or n == 0:
+        # compression is undirected-only (the interior-endpoint
+        # doubling relies on α == β); directed sub-graphs get an
+        # identity plan and flow through the plain kernels
+        return _trivial_plan(sg, eliminate_pendants)
+    ladder = _Ladder(sg, eliminate_pendants)
+    if eliminate_pendants:
+        ladder.fold_pendants(sg)
+    while True:
+        changed = ladder.merge_twins()
+        changed += ladder.contract_chains()
+        if not changed:
+            break
+    ladder.rep = _resolve_reps(ladder.rep)
+
+    core_graph, arc_lengths = _csr_with_lengths(
+        n, ladder.asrc, ladder.adst, ladder.alen
+    )
+    unit = ladder.alen == 1
+    exp_src = [ladder.asrc[unit]]
+    exp_dst = [ladder.adst[unit]]
+    chains: List[Chain] = []
+    for u, v, interiors in ladder.chains:
+        hops = np.concatenate([[u], interiors, [v]])
+        exp_src.append(hops[:-1])
+        exp_dst.append(hops[1:])
+        chains.append(
+            Chain(
+                u=u,
+                v=v,
+                interiors=interiors,
+                arc_uv=_arc_index(core_graph, u, v),
+                arc_vu=_arc_index(core_graph, v, u),
+            )
+        )
+    if chains:
+        expanded_graph, _ = _csr_with_lengths(
+            n,
+            np.concatenate(exp_src),
+            np.concatenate(exp_dst),
+            np.ones(sum(a.size for a in exp_src), dtype=np.int64),
+        )
+    else:
+        expanded_graph = core_graph
+
+    twin_classes: List[TwinClass] = []
+    merged = np.flatnonzero(ladder.status == STATUS_TWIN)
+    if merged.size:
+        for rep in np.unique(ladder.rep[merged]).tolist():
+            members = np.flatnonzero(ladder.rep == rep)
+            neighbors = expanded_graph.out_neighbors(rep).astype(np.int64)
+            twin_classes.append(
+                TwinClass(
+                    rep=int(rep),
+                    members=members,
+                    kind=int(ladder.kind_of[rep]),
+                    neighbors=neighbors,
+                    sigma_within=float(ladder.mult[neighbors].sum()),
+                )
+            )
+
+    plan = SubgraphPlan(
+        n=n,
+        eliminate_pendants=eliminate_pendants,
+        status=ladder.status,
+        rep=ladder.rep,
+        mult=ladder.mult,
+        pfold=ladder.pfold,
+        core_graph=core_graph,
+        arc_lengths=arc_lengths,
+        has_lengths=bool((arc_lengths > 1).any()),
+        expanded_graph=expanded_graph,
+        twin_classes=twin_classes,
+        chains=chains,
+    )
+    if plan.vertices_peeled + plan.vertices_merged + plan.chain_interiors != (
+        plan.n - plan.n_core
+    ):  # pragma: no cover - per-rule tallies must invert exactly
+        raise AlgorithmError("compression tallies do not match eliminations")
+    return plan
+
+
+def _trivial_plan(sg, eliminate_pendants: bool) -> SubgraphPlan:
+    g = sg.graph
+    n = g.n
+    return SubgraphPlan(
+        n=n,
+        eliminate_pendants=eliminate_pendants,
+        status=np.zeros(n, dtype=np.int8),
+        rep=np.arange(n, dtype=np.int64),
+        mult=np.ones(n, dtype=np.int64),
+        pfold=np.zeros(n, dtype=np.int64),
+        core_graph=g,
+        arc_lengths=np.ones(g.num_arcs, dtype=np.int64),
+        has_lengths=False,
+        expanded_graph=g,
+    )

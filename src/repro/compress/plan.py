@@ -1,0 +1,216 @@
+"""The compression plan: what was eliminated, and how to invert it.
+
+A :class:`SubgraphPlan` is the record the reduction ladder
+(:mod:`repro.compress.ladder`) leaves behind for one sub-graph.  It
+keeps every array in the sub-graph's *local* id space — eliminated
+vertices simply become isolated in the compressed CSR, so no remapping
+layer sits between the compressed kernel and the driver's merge, and
+the kernel accumulates scores at their final local positions directly.
+
+Three elimination rules, each tagged in ``status``:
+
+``PEELED``
+    Single-level pendant sources (the partition's ``removed`` set)
+    folded into their parents as extra endpoint mass ``pfold``.
+``TWIN``
+    Members of a type-I (same open neighbourhood, non-adjacent) or
+    type-II (same closed neighbourhood, adjacent) twin class collapsed
+    into the class representative, which carries the multiplicity
+    ``mult``.
+``CHAIN``
+    Interior vertices of a maximal degree-2 path contracted into one
+    weighted super-edge of the recorded integer length.
+
+The exact-inversion identity every plan satisfies (and the tests
+assert)::
+
+    vertices_peeled + vertices_merged + chain_interiors
+        == n - n_core
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "STATUS_CORE",
+    "STATUS_PEELED",
+    "STATUS_TWIN",
+    "STATUS_CHAIN",
+    "TWIN_OPEN",
+    "TWIN_CLOSED",
+    "TwinClass",
+    "Chain",
+    "SubgraphPlan",
+    "compression_plan",
+]
+
+STATUS_CORE = 0
+STATUS_PEELED = 1
+STATUS_TWIN = 2
+STATUS_CHAIN = 3
+
+TWIN_OPEN = 1  # type-I: same open neighbourhood, members non-adjacent
+TWIN_CLOSED = 2  # type-II: same closed neighbourhood, members adjacent
+
+
+@dataclass
+class TwinClass:
+    """One merged twin class (local ids).
+
+    ``members`` includes the representative; ``neighbors`` are the
+    representative's neighbours in the *expanded* graph (original
+    neighbourhood of every member, one entry per neighbour class) and
+    ``sigma_within`` is their multiplicity total — the σ of the
+    distance-2 paths between two type-I members, used by the kernel's
+    within-class analytic credit.  Type-II members are adjacent
+    (distance 1, no intermediates), so their credit is zero and
+    ``sigma_within`` is unused.
+    """
+
+    rep: int
+    members: np.ndarray
+    kind: int
+    neighbors: np.ndarray
+    sigma_within: float
+
+
+@dataclass
+class Chain:
+    """One contracted degree-2 chain (local ids).
+
+    ``interiors`` lists the eliminated interior vertices in path order
+    from ``u`` to ``v``; the super-edge has integer length
+    ``len(interiors) + 1``.  ``arc_uv``/``arc_vu`` index the two
+    orientations of the super-edge in the compressed CSR's arc order,
+    where the kernel accumulates the pair-mass flow that credits every
+    interior.
+    """
+
+    u: int
+    v: int
+    interiors: np.ndarray
+    arc_uv: int
+    arc_vu: int
+
+    @property
+    def length(self) -> int:
+        return int(self.interiors.size) + 1
+
+
+@dataclass
+class SubgraphPlan:
+    """Everything needed to run (and invert) one sub-graph compressed.
+
+    Attributes
+    ----------
+    n:
+        Local vertex count of the original sub-graph.
+    eliminate_pendants:
+        The R/γ switch the plan was built under (it decides whether
+        the pendant fold runs, so plans are memoized per flag).
+    status:
+        Per-vertex elimination tag (``STATUS_*``).
+    rep:
+        Twin members point at their class representative; every other
+        vertex points at itself.  Indexing ``bc[rep]`` and dividing by
+        ``mult[rep]`` inverts the merge exactly (members of one class
+        are interchangeable under the class automorphism).
+    mult:
+        μ(v): twin-class size at representatives, 1 elsewhere — the
+        σ-multiplicity a compressed vertex carries as an intermediate.
+    pfold:
+        Pendants folded into v (``w(v) − μ(v)``): endpoint mass that
+        is *not* path multiplicity.
+    core_graph:
+        The compressed CSR over the full local id space (eliminated
+        vertices isolated).  May contain super-edges.
+    arc_lengths:
+        Integer length per arc of ``core_graph`` (both orientations,
+        aligned with ``core_graph.arcs()`` order).
+    has_lengths:
+        True iff any super-edge exists (selects the weighted sweep).
+    expanded_graph:
+        ``core_graph`` with every chain re-expanded to unit edges —
+        the all-unit graph interior-endpoint sweeps run on.  Twin
+        merges and pendant folds stay applied.
+    twin_classes, chains:
+        The per-rule records (see :class:`TwinClass` /
+        :class:`Chain`).
+    """
+
+    n: int
+    eliminate_pendants: bool
+    status: np.ndarray
+    rep: np.ndarray
+    mult: np.ndarray
+    pfold: np.ndarray
+    core_graph: CSRGraph
+    arc_lengths: np.ndarray
+    has_lengths: bool
+    expanded_graph: CSRGraph
+    twin_classes: List[TwinClass] = field(default_factory=list)
+    chains: List[Chain] = field(default_factory=list)
+    # lazily built scipy CSR of (core_graph, arc_lengths) for dijkstra
+    _sssp_matrix: Optional[object] = None
+
+    @property
+    def vertices_peeled(self) -> int:
+        return int((self.status == STATUS_PEELED).sum())
+
+    @property
+    def vertices_merged(self) -> int:
+        return int((self.status == STATUS_TWIN).sum())
+
+    @property
+    def chain_interiors(self) -> int:
+        return int((self.status == STATUS_CHAIN).sum())
+
+    @property
+    def n_core(self) -> int:
+        return int((self.status == STATUS_CORE).sum())
+
+    @property
+    def nontrivial(self) -> bool:
+        """Whether any rule fired (trivial plans route to the plain
+        kernels, keeping the batched SpMM path intact)."""
+        return self.n_core < self.n
+
+    def class_count(self, roots: np.ndarray) -> np.ndarray:
+        """Per-vertex count of ``roots`` members mapping to each rep.
+
+        Root subsets stay linear through compression: a chunk that
+        contains ``cnt`` members of one twin class contributes exactly
+        ``cnt`` of that class's ``mult`` member-sweeps, so chunked
+        calls still sum to the full sub-graph scores.
+        """
+        counts = np.zeros(self.n, dtype=np.int64)
+        np.add.at(counts, self.rep[roots], 1)
+        return counts
+
+
+def compression_plan(sg, *, eliminate_pendants: bool = True) -> SubgraphPlan:
+    """The (memoized) compression plan of one partition sub-graph.
+
+    Plans are deterministic functions of the sub-graph content, so
+    they are cached on the ``Subgraph`` object per
+    ``eliminate_pendants`` flag; fork-based workers inherit plans the
+    parent already built, and any worker that lacks one rebuilds the
+    identical plan locally.
+    """
+    from repro.compress.ladder import build_plan
+
+    cache = getattr(sg, "_compress_plans", None)
+    if cache is None:
+        cache = {}
+        sg._compress_plans = cache
+    plan = cache.get(bool(eliminate_pendants))
+    if plan is None:
+        plan = build_plan(sg, eliminate_pendants=eliminate_pendants)
+        cache[bool(eliminate_pendants)] = plan
+    return plan

@@ -1,0 +1,283 @@
+"""Generalized four-dependency sweeps for compressed sub-graphs.
+
+The plain kernel (:mod:`repro.core.dependencies`) assumes every vertex
+is one unit of endpoint mass, one unit of path multiplicity, and every
+arc one hop.  Compression breaks all three, so the sweeps here carry:
+
+* ``tmass[v]`` — target (endpoint) mass seeded into the dependency
+  recursion when ``v`` is a target: ``w(v) = μ(v) + pfold(v)`` for
+  core sweeps, doubled for interior-endpoint sweeps;
+* ``mu[v]`` — σ-multiplicity as an intermediate: a twin class of k
+  members offers k parallel ways through, so the weighted path count
+  is ``σ̃(dst) = Σ σ̃(src)·μ(src)`` (the *source's* own μ is forced
+  to 1 — one member is the actual source);
+* integer arc lengths — super-edges advance distance by their chain
+  length; the weighted path runs an integer-distance SSSP and replays
+  the shortest-path DAG in distance buckets.
+
+The dependency recursion becomes
+
+    δ(a) += (σ̃(a)·μ(a)/σ̃(b)) · (tmass(b) + δ(b))        (i2i)
+    δ_x(a) += (σ̃(a)·μ(a)/σ̃(b)) · δ_x(b)                 (i2o, o2o)
+
+with the usual APGRE Phase-0 seeds (α at boundary articulation
+points, β(s)·α for articulation sources).  During the backward pass
+over super-edge arcs, the *merge-weighted* crossing pair mass is
+accumulated into a per-arc ``flow`` array — that flow is exactly the
+dependency every interior vertex of the contracted chain holds for
+core-source pairs, because each interior lies on every shortest path
+that uses the super-edge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import bfs_sigma
+from repro.types import SCORE_DTYPE
+
+__all__ = ["GeneralSweep", "unit_sweep", "weighted_sweep", "integer_sssp"]
+
+
+@dataclass
+class GeneralSweep:
+    """Per-vertex dependency arrays of one generalized sweep."""
+
+    source: int
+    source_is_art: bool
+    beta_s: float
+    reached: np.ndarray
+    delta_i2i: np.ndarray
+    delta_i2o: np.ndarray
+    delta_o2o: np.ndarray
+
+
+def _phase0(
+    n: int,
+    s: int,
+    alpha_seed: np.ndarray,
+    beta: np.ndarray,
+    is_art: np.ndarray,
+):
+    """APGRE Phase-0 initialisation (same shape as the plain kernel)."""
+    delta_i2i = np.zeros(n, dtype=SCORE_DTYPE)
+    delta_i2o = np.where(is_art, alpha_seed, 0.0).astype(SCORE_DTYPE)
+    delta_i2o[s] = 0.0
+    source_is_art = bool(is_art[s])
+    beta_s = float(beta[s]) if source_is_art else 0.0
+    if source_is_art:
+        delta_o2o = beta_s * np.where(is_art, alpha_seed, 0.0)
+        delta_o2o[s] = 0.0
+        delta_o2o = delta_o2o.astype(SCORE_DTYPE)
+    else:
+        delta_o2o = np.zeros(n, dtype=SCORE_DTYPE)
+    return delta_i2i, delta_i2o, delta_o2o, source_is_art, beta_s
+
+
+def unit_sweep(
+    graph: CSRGraph,
+    s: int,
+    *,
+    mu: np.ndarray,
+    tmass: np.ndarray,
+    alpha_seed: np.ndarray,
+    beta: np.ndarray,
+    is_art: np.ndarray,
+    counter: Optional[WorkCounter] = None,
+) -> GeneralSweep:
+    """Generalized sweep over an all-unit graph (BFS fast path).
+
+    Reuses :func:`repro.graph.traversal.bfs_sigma` for levels and DAG
+    arcs, then recomputes the μ-weighted path counts σ̃ level by
+    level (the unweighted σ of the BFS is not reused — multiplicities
+    change it).
+    """
+    n = graph.n
+    res = bfs_sigma(graph, s, keep_level_arcs=True)
+    if counter is not None:
+        counter.add(res.edges_traversed)
+    delta_i2i, delta_i2o, delta_o2o, source_is_art, beta_s = _phase0(
+        n, s, alpha_seed, beta, is_art
+    )
+    mu_eff = mu.astype(SCORE_DTYPE, copy=True)
+    mu_eff[s] = 1.0  # the source is one concrete member, not a class
+    sigt = np.zeros(n, dtype=SCORE_DTYPE)
+    sigt[s] = 1.0
+    for d in range(res.depth):
+        lsrc, ldst = res.level_arcs[d]
+        if lsrc.size:
+            np.add.at(sigt, ldst, sigt[lsrc] * mu_eff[lsrc])
+    any_art = bool(is_art.any())
+    for d in range(res.depth - 1, -1, -1):
+        lsrc, ldst = res.level_arcs[d]
+        if lsrc.size == 0:
+            continue
+        if counter is not None:
+            counter.add(lsrc.size)
+        coef = sigt[lsrc] * mu_eff[lsrc] / sigt[ldst]
+        np.add.at(delta_i2i, lsrc, coef * (tmass[ldst] + delta_i2i[ldst]))
+        np.add.at(delta_i2o, lsrc, coef * delta_i2o[ldst])
+        if any_art:
+            np.add.at(delta_o2o, lsrc, coef * delta_o2o[ldst])
+    if len(res.levels) > 1:
+        reached = np.concatenate(res.levels[1:])
+    else:
+        reached = np.empty(0, dtype=res.levels[0].dtype)
+    return GeneralSweep(
+        source=s,
+        source_is_art=source_is_art,
+        beta_s=beta_s,
+        reached=reached,
+        delta_i2i=delta_i2i,
+        delta_i2o=delta_i2o,
+        delta_o2o=delta_o2o,
+    )
+
+
+def integer_sssp(plan, s: int) -> np.ndarray:
+    """Integer-length shortest distances from ``s`` on the core graph.
+
+    Uses scipy's Dijkstra when available (the matrix is built once per
+    plan and cached); falls back to a pure-Python binary-heap Dijkstra
+    otherwise.  Distances are small integers, exactly representable in
+    the returned float64 array (``inf`` marks unreachable vertices).
+    """
+    g = plan.core_graph
+    try:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra
+    except ImportError:  # pragma: no cover - minimal environments
+        return _heap_sssp(plan, s)
+    if plan._sssp_matrix is None:
+        plan._sssp_matrix = csr_matrix(
+            (
+                plan.arc_lengths.astype(np.float64),
+                g.out_indices,
+                g.out_indptr,
+            ),
+            shape=(g.n, g.n),
+        )
+    return dijkstra(plan._sssp_matrix, directed=True, indices=s)
+
+
+def _heap_sssp(plan, s: int) -> np.ndarray:
+    g = plan.core_graph
+    indptr, indices = g.out_indptr, g.out_indices
+    lengths = plan.arc_lengths
+    dist = np.full(g.n, np.inf)
+    dist[s] = 0.0
+    heap = [(0.0, s)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for pos in range(int(indptr[v]), int(indptr[v + 1])):
+            w = int(indices[pos])
+            nd = d + float(lengths[pos])
+            if nd < dist[w]:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist
+
+
+def weighted_sweep(
+    plan,
+    s: int,
+    *,
+    mu: np.ndarray,
+    tmass: np.ndarray,
+    alpha_seed: np.ndarray,
+    beta: np.ndarray,
+    is_art: np.ndarray,
+    m_src: float,
+    flow: Optional[np.ndarray] = None,
+    counter: Optional[WorkCounter] = None,
+) -> GeneralSweep:
+    """Generalized sweep over the core graph with super-edge lengths.
+
+    Shortest-path DAG arcs are replayed in buckets of equal target
+    distance (positive lengths guarantee every arc into a vertex is
+    processed before any arc out of it).  When ``flow`` is given, the
+    backward pass adds each super-edge arc's merge-weighted crossing
+    dependency — ``m_src`` (source members + γ) times the in-source
+    terms plus, for articulation sources, the β-weighted out-source
+    terms — which the kernel later credits to the chain's interiors.
+    """
+    g = plan.core_graph
+    n = g.n
+    dist = integer_sssp(plan, s)
+    src, dst = g.arcs()
+    finite_src = np.isfinite(dist[src])
+    if counter is not None:
+        counter.add(int(finite_src.sum()))
+    dag = finite_src & (dist[src] + plan.arc_lengths == dist[dst])
+    arc_ids = np.flatnonzero(dag)
+    delta_i2i, delta_i2o, delta_o2o, source_is_art, beta_s = _phase0(
+        n, s, alpha_seed, beta, is_art
+    )
+    mu_eff = mu.astype(SCORE_DTYPE, copy=True)
+    mu_eff[s] = 1.0
+    sigt = np.zeros(n, dtype=SCORE_DTYPE)
+    sigt[s] = 1.0
+    reached = np.flatnonzero(np.isfinite(dist))
+    reached = reached[reached != s]
+    if arc_ids.size == 0:
+        return GeneralSweep(
+            source=s,
+            source_is_art=source_is_art,
+            beta_s=beta_s,
+            reached=reached,
+            delta_i2i=delta_i2i,
+            delta_i2o=delta_i2o,
+            delta_o2o=delta_o2o,
+        )
+    order = np.argsort(dist[dst[arc_ids]], kind="stable")
+    arc_ids = arc_ids[order]
+    dsrc, ddst = src[arc_ids], dst[arc_ids]
+    dd = dist[ddst]
+    bounds = np.flatnonzero(dd[1:] != dd[:-1]) + 1
+    starts = np.concatenate([[0], bounds])
+    ends = np.concatenate([bounds, [arc_ids.size]])
+    for lo, hi in zip(starts.tolist(), ends.tolist()):
+        bs, bd = dsrc[lo:hi], ddst[lo:hi]
+        np.add.at(sigt, bd, sigt[bs] * mu_eff[bs])
+    any_art = bool(is_art.any())
+    if counter is not None:
+        counter.add(arc_ids.size)
+    for bi in range(len(starts) - 1, -1, -1):
+        lo, hi = int(starts[bi]), int(ends[bi])
+        bs, bd = dsrc[lo:hi], ddst[lo:hi]
+        coef = sigt[bs] * mu_eff[bs] / sigt[bd]
+        base = coef * (tmass[bd] + delta_i2i[bd])
+        io = coef * delta_i2o[bd]
+        np.add.at(delta_i2i, bs, base)
+        np.add.at(delta_i2o, bs, io)
+        if any_art:
+            oo = coef * delta_o2o[bd]
+            np.add.at(delta_o2o, bs, oo)
+        else:
+            oo = None
+        if flow is not None:
+            sup = plan.arc_lengths[arc_ids[lo:hi]] > 1
+            if sup.any():
+                f = m_src * (base[sup] + io[sup])
+                if source_is_art:
+                    f = f + beta_s * base[sup]
+                    if oo is not None:
+                        f = f + oo[sup]
+                np.add.at(flow, arc_ids[lo:hi][sup], f)
+    return GeneralSweep(
+        source=s,
+        source_is_art=source_is_art,
+        beta_s=beta_s,
+        reached=reached,
+        delta_i2i=delta_i2i,
+        delta_i2o=delta_i2o,
+        delta_o2o=delta_o2o,
+    )

@@ -66,6 +66,7 @@ def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
         eliminate_pendants=eliminate,
         roots=all_roots[lo:hi],
         batch_size=state.get("batch_size"),
+        compress=state.get("compress", False),
     )
 
 
@@ -157,6 +158,27 @@ def apgre_bc_detailed(
     else:
         stats.num_sources = sum(sg.num_vertices for sg in subgraphs)
 
+    if config.compress:
+        # Build (and memoize) every plan up front: fork-based workers
+        # then inherit the finished plans instead of rebuilding them,
+        # and the stats describe the run regardless of which execution
+        # path the scores take.  These tallies quantify work *avoided*
+        # and are never folded into edges_traversed/TEPS.
+        from repro.compress import compression_plan
+
+        plans = [
+            compression_plan(sg, eliminate_pendants=config.eliminate_pendants)
+            for sg in subgraphs
+        ]
+        stats.vertices_merged = sum(p.vertices_merged for p in plans)
+        stats.chains_contracted = sum(p.chain_interiors for p in plans)
+        stats.vertices_peeled = sum(p.vertices_peeled for p in plans)
+        total_n = sum(p.n for p in plans)
+        total_core = sum(p.n_core for p in plans)
+        stats.compression_ratio = (
+            total_n / total_core if total_core else 1.0
+        )
+
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
     health: Optional[RunHealth] = None
 
@@ -185,6 +207,7 @@ def apgre_bc_detailed(
             "partition": partition,
             "eliminate_pendants": config.eliminate_pendants,
             "batch_size": config.batch_size,
+            "compress": config.compress,
         }
         if config.parallel == "processes" and config.parallel_batched:
             health = RunHealth()
@@ -228,6 +251,7 @@ def _serial_pass(
             eliminate_pendants=config.eliminate_pendants,
             counter=counter,
             batch_size=config.batch_size,
+            compress=config.compress,
         )
         elapsed = time.perf_counter() - t0
         if idx == 0:
@@ -334,6 +358,7 @@ def _batched_pool_pass(
             roots=all_roots[lo:hi],
             batch_size=config.batch_size or "auto",
             workers=config.workers,
+            compress=config.compress,
         )
         return sg.vertices, local, local_counter.edges
 
@@ -395,7 +420,11 @@ def _cached_pass(
 
     subgraphs = partition.subgraphs
     keys = [
-        subgraph_key(sg, eliminate_pendants=config.eliminate_pendants)
+        subgraph_key(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            compress=config.compress,
+        )
         for sg in subgraphs
     ]
     misses: List[int] = []
@@ -459,6 +488,7 @@ def _cached_serial_recompute(
             eliminate_pendants=config.eliminate_pendants,
             counter=tally,
             batch_size=config.batch_size,
+            compress=config.compress,
         )
         store.put(keys[sg.index], local, tally.edges)
         bc[sg.vertices] += local
@@ -480,6 +510,7 @@ def _cached_thread_recompute(
             eliminate_pendants=config.eliminate_pendants,
             counter=tally,
             batch_size=config.batch_size,
+            compress=config.compress,
         )
         return index, local, tally.edges
 
@@ -540,6 +571,7 @@ def _cached_pool_recompute(
             counter=tally,
             roots=all_roots[lo:hi],
             batch_size=config.batch_size,
+            compress=config.compress,
         )
         verts = np.arange(offsets[mi], offsets[mi] + sg.num_vertices)
         return verts, local, tally.edges
@@ -587,6 +619,7 @@ def apgre_bc(
     steal: bool = True,
     cache=None,
     cache_dir=None,
+    compress: bool = False,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -598,7 +631,10 @@ def apgre_bc(
     ``parallel_batched`` moves the process pool onto the persistent
     shared-memory path with ``steal`` toggling work stealing;
     ``cache``/``cache_dir`` enable the decomposition-aware
-    contribution cache — see :mod:`repro.cache` and docs/CACHING.md).
+    contribution cache — see :mod:`repro.cache` and docs/CACHING.md;
+    ``compress`` runs each sub-graph through the structural
+    compression ladder first — see :mod:`repro.compress` and
+    docs/COMPRESSION.md).
     """
     kwargs = dict(
         parallel=parallel,
@@ -613,6 +649,7 @@ def apgre_bc(
         steal=steal,
         cache=cache,
         cache_dir=cache_dir,
+        compress=compress,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

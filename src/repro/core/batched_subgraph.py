@@ -147,6 +147,7 @@ def bc_subgraph_batched(
     roots: Optional[np.ndarray] = None,
     batch_size: Union[int, str] = "auto",
     workers: int = 1,
+    compress: bool = False,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph via the batched kernel.
 
@@ -156,8 +157,23 @@ def bc_subgraph_batched(
     resolves a RAM-safe batch from the sub-graph's own n and m divided
     by ``workers`` — pass the pool's worker count when several of
     these calls run concurrently, so they share one RAM budget instead
-    of each claiming all of it.
+    of each claiming all of it.  ``compress=True`` routes through the
+    structural compression kernel when any reduction rule fires (the
+    shrunken core does not benefit from SpMM batching); trivial plans
+    stay on the batched path.
     """
+    if compress:
+        from repro.compress import bc_subgraph_compressed, compression_plan
+
+        plan = compression_plan(sg, eliminate_pendants=eliminate_pendants)
+        if plan.nontrivial:
+            return bc_subgraph_compressed(
+                sg,
+                plan,
+                eliminate_pendants=eliminate_pendants,
+                counter=counter,
+                roots=roots,
+            )
     g = sg.graph
     n = g.n
     undirected = not g.directed

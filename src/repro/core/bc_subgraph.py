@@ -52,6 +52,7 @@ def bc_subgraph(
     counter: Optional[WorkCounter] = None,
     roots: Optional[np.ndarray] = None,
     batch_size: Union[int, str, None] = None,
+    compress: bool = False,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph (``BC_SGi`` of equation 7).
 
@@ -77,12 +78,33 @@ def bc_subgraph(
         kernel (:func:`repro.core.batched_subgraph.bc_subgraph_batched`),
         which processes roots in ``(B, n)`` batches with identical
         edge counting and float64-tolerance-identical scores.
+    compress:
+        Run this sub-graph through the structural compression ladder
+        first (:mod:`repro.compress`): when any reduction rule fires
+        the compressed kernel executes the plan (scores identical to
+        float64 tolerance); trivial plans fall through to the plain
+        per-source or batched kernel unchanged.
 
     Returns
     -------
     Local score array (index by local vertex id; translate through
     ``sg.vertices`` to merge globally).
     """
+    if compress:
+        from repro.compress import bc_subgraph_compressed, compression_plan
+
+        plan = compression_plan(sg, eliminate_pendants=eliminate_pendants)
+        if plan.nontrivial:
+            # the compressed kernel is the single integration point:
+            # batching adds nothing on the shrunken core, so every
+            # execution path funnels here once a rule has fired
+            return bc_subgraph_compressed(
+                sg,
+                plan,
+                eliminate_pendants=eliminate_pendants,
+                counter=counter,
+                roots=roots,
+            )
     if batch_size is not None:
         from repro.core.batched_subgraph import bc_subgraph_batched
 

@@ -84,6 +84,18 @@ class APGREConfig:
         Directory for the cache's persistent on-disk layer; setting it
         enables caching. Separate processes and CLI invocations
         pointed at the same directory share warmth.
+    compress:
+        Run each sub-graph through the structural compression ladder
+        (:mod:`repro.compress`) before its BC sweeps: twin classes
+        (same open/closed neighbourhood) merge into weighted
+        representatives, maximal degree-2 chains contract to integer-
+        length super-edges, and single-level pendants fold into
+        endpoint mass.  Scores are identical to the uncompressed
+        kernels (the plan inverts the compression exactly); sub-graphs
+        where no rule fires route through the plain kernels unchanged.
+        Composes with every execution path, including ``cache=`` —
+        compressed runs fingerprint the *plan*, so structurally
+        twin-heavy identical sub-graphs share one store entry.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -99,6 +111,7 @@ class APGREConfig:
     steal: bool = True
     cache: object = None
     cache_dir: Optional[str] = None
+    compress: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:

@@ -90,6 +90,15 @@ class APGREStats:
     are never mixed: TEPS over ``edges_traversed`` stays an honest
     hardware rate, and ``edges_replayed`` quantifies the work the
     cache eliminated.
+
+    ``vertices_merged`` / ``chains_contracted`` / ``vertices_peeled``
+    tally the structural compression (``compress=True`` runs only;
+    docs/COMPRESSION.md): twin-class members collapsed into their
+    representatives, chain interiors contracted into super-edges, and
+    pendants folded into endpoint mass.  ``compression_ratio`` is
+    ``Σ n / Σ n_core`` over all sub-graphs (1.0 when compression is
+    off or nothing fired).  Like ``edges_replayed``, these never feed
+    TEPS — they describe work *avoided*, not performed.
     """
 
     num_subgraphs: int = 0
@@ -103,6 +112,10 @@ class APGREStats:
     subgraphs_recomputed: int = 0
     alpha_beta_pairs: int = 0
     alpha_beta_method: str = ""
+    vertices_merged: int = 0
+    chains_contracted: int = 0
+    vertices_peeled: int = 0
+    compression_ratio: float = 1.0
     timings: PhaseTimings = field(default_factory=PhaseTimings)
 
 

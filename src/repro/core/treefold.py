@@ -46,7 +46,6 @@ covers one level of; use :func:`repro.core.apgre.apgre_bc` there.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -100,9 +99,11 @@ class FoldResult:
 def peel_pendant_trees(graph: CSRGraph) -> FoldResult:
     """Iteratively remove degree-1 vertices, folding weights upward.
 
-    Runs the classic queue peel in O(|V| + |E|). A two-vertex
-    component peels one endpoint (arbitrarily, the smaller id) and
-    keeps the other as a weight-2 core singleton; a pure tree
+    The peel itself is the shared :func:`repro.graph.kcore.two_core`
+    primitive (O(|V| + |E|) queue peel); this wrapper accumulates the
+    subtree weights and child lists the treefold formulas need. A
+    two-vertex component peels one endpoint (arbitrarily, the smaller
+    id) and keeps the other as a weight-2 core singleton; a pure tree
     component collapses to one core vertex carrying the whole tree.
     """
     if graph.directed:
@@ -110,33 +111,21 @@ def peel_pendant_trees(graph: CSRGraph) -> FoldResult:
             "tree folding requires an undirected graph "
             "(see repro.core.apgre for directed pendant handling)"
         )
+    from repro.graph.kcore import two_core
+
     n = graph.n
     result = FoldResult(n)
-    deg = graph.out_degrees().astype(np.int64).copy()
-    alive = np.ones(n, dtype=bool)
-    queue = deque(np.flatnonzero(deg == 1).tolist())
-    while queue:
-        v = int(queue.popleft())
-        if not alive[v] or deg[v] != 1:
-            continue
-        # the unique remaining neighbour
-        parent = -1
-        for w in graph.out_neighbors(v).tolist():
-            if alive[w]:
-                parent = w
-                break
-        if parent < 0:  # last vertex of a 2-cycle chain; keep it
-            continue
-        alive[v] = False
-        deg[parent] -= 1
-        deg[v] = 0
-        result.peel_order.append(v)
-        result.fold_parent[v] = parent
+    peel = two_core(graph)
+    result.core_mask = peel.core_mask
+    result.fold_parent = peel.peel_parent
+    result.peel_order = peel.peel_order.tolist()
+    # peel_order lists each vertex after everything folded into it,
+    # so one forward pass accumulates subtree weights exactly as the
+    # incremental queue did
+    for v in result.peel_order:
+        parent = int(peel.peel_parent[v])
         result.children[parent].append(v)
         result.weight[parent] += result.weight[v]
-        if deg[parent] == 1:
-            queue.append(parent)
-    result.core_mask = alive
     return result
 
 

@@ -86,6 +86,9 @@ class CSRGraph:
         "out_indices",
         "in_indptr",
         "in_indices",
+        # weak referencability for the per-graph derived-structure
+        # caches (repro.graph.ops memoizes to_undirected per instance)
+        "__weakref__",
     )
 
     def __init__(

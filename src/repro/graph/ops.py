@@ -7,7 +7,8 @@ for loops" rule).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import weakref
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -53,17 +54,35 @@ def reverse_graph(graph: CSRGraph) -> CSRGraph:
     )
 
 
+#: id(graph) -> undirected shadow, evicted by a weakref finalizer when
+#: the source graph is collected.  CSRGraph is immutable, so the shadow
+#: can never go stale; keying by id is safe because the finalizer
+#: removes the entry before the id can be reused.
+_UNDIRECTED_CACHE: Dict[int, CSRGraph] = {}
+
+
 def to_undirected(graph: CSRGraph) -> CSRGraph:
     """The undirected shadow of ``graph`` (identity when undirected).
 
     This is ``GETUNDG`` from the paper's Algorithm 1: articulation
     points and biconnected components are always computed on the
-    undirected shadow, even for directed inputs.
+    undirected shadow, even for directed inputs.  The shadow is
+    memoized per graph instance — ``kcore``, ``ordering``,
+    ``partition`` and ``articulation`` all call this on the same
+    object within one ``apgre_bc`` run, and only the first call pays
+    for the symmetrised rebuild.
     """
     if not graph.directed:
         return graph
+    key = id(graph)
+    cached = _UNDIRECTED_CACHE.get(key)
+    if cached is not None:
+        return cached
     src, dst = graph.arcs()
-    return CSRGraph.from_arcs(graph.n, src, dst, directed=False)
+    shadow = CSRGraph.from_arcs(graph.n, src, dst, directed=False)
+    _UNDIRECTED_CACHE[key] = shadow
+    weakref.finalize(graph, _UNDIRECTED_CACHE.pop, key, None)
+    return shadow
 
 
 def _frontier_expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
