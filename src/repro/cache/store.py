@@ -7,8 +7,10 @@ Two layers behind one interface:
 * an optional on-disk layer under ``cache_dir`` (one ``.npz`` per key,
   the same ``numpy.savez_compressed`` array serialisation as
   :mod:`repro.io.binary`), so separate processes and separate CLI
-  invocations share warmth.  Writes are atomic (tmp file + ``rename``)
-  and a corrupted or truncated file degrades to a miss, never an error.
+  invocations share warmth.  Writes are atomic (tmp file + ``rename``),
+  a corrupted or truncated file degrades to a miss, and a *failed*
+  write (``ENOSPC``, I/O error) degrades to a memory-only put — the
+  disk layer can never crash or corrupt a run (docs/ROBUSTNESS.md).
 
 Every entry stores the local score vector **and** the exact
 examined-edge tally of the traversal that produced it, so a replayed
@@ -19,6 +21,7 @@ entry reports its work as *replayed* edges — never as traversed — and
 from __future__ import annotations
 
 import os
+import warnings
 import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -28,6 +31,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.errors import CacheError
+from repro.parallel import faults as _faults
 from repro.types import SCORE_DTYPE
 
 __all__ = [
@@ -107,6 +111,7 @@ class ContributionStore:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._bytes = 0
+        self._disk_warned = False
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -205,22 +210,49 @@ class ContributionStore:
         return CacheEntry(scores=scores, edges=edges)
 
     def _write_disk(self, key: str, entry: CacheEntry) -> None:
+        """Persist one entry; a failed write degrades, never raises.
+
+        A full or faulty disk must not take down a run whose in-memory
+        layer is still serving (the same never-crash discipline as the
+        run journal, docs/ROBUSTNESS.md): the error is counted in
+        ``stats.disk_errors``, warned about once per store, and the
+        put stays memory-only.  The write consults the disk-fault
+        hook (:func:`repro.parallel.faults.fire_disk_faults`, target
+        ``"cache.disk"``) so torn-write/ENOSPC behaviour is tested
+        deterministically — a torn file is rejected by
+        :meth:`_load_disk` on the next read and recomputed.
+        """
         assert self.cache_dir is not None
+        tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             final = self.cache_dir / f"{key}.npz"
-            tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
             np.savez_compressed(
                 tmp,
                 version=np.asarray(_ENTRY_VERSION),
                 scores=entry.scores,
                 edges=np.asarray(entry.edges, dtype=np.int64),
             )
+            spec = _faults.fire_disk_faults("cache.disk")
+            if spec is not None and spec.kind == "torn_write":
+                size = tmp.stat().st_size
+                with open(tmp, "r+b") as fh:
+                    fh.truncate(max(size // 2, 1))
             os.replace(tmp, final)
         except OSError as exc:
-            raise CacheError(
-                f"cannot persist cache entry under {self.cache_dir}: {exc}"
-            ) from exc
+            self.stats.disk_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            if not self._disk_warned:
+                self._disk_warned = True
+                warnings.warn(
+                    f"cache disk layer failed to persist under "
+                    f"{self.cache_dir} ({exc}); entries stay "
+                    f"memory-only until writes succeed again",
+                    stacklevel=3,
+                )
 
     def summary(self) -> str:
         """One-line human-readable state (CLI/bench reporting)."""

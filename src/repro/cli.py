@@ -18,6 +18,14 @@ Subcommands:
     their tables; honours ``REPRO_SCALE``/``REPRO_GRAPHS``.
 ``repro-bc suite``
     List the analogue workload suite with sizes at the current scale.
+``repro-bc gc``
+    List and remove shared-memory segments orphaned by ``kill -9``.
+
+The process is signal-aware: SIGTERM is handled like SIGINT (graceful
+drain — in-flight batches finish, the run journal is finalised as
+resumable, shared-memory segments are unlinked) and both exit with
+code 130.  Deliberate failures (:class:`repro.errors.ReproError`,
+including a journal fingerprint mismatch) exit with code 2.
 """
 
 from __future__ import annotations
@@ -156,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
         "ladder first (APGRE only): twin merging, chain contraction "
         "and pendant folding shrink the sweeps; scores are identical",
     )
+    p_compute.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every completed sub-graph contribution to a "
+        "crash-safe log under DIR (APGRE only); a killed run can be "
+        "picked up with --resume",
+    )
+    p_compute.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the journal in --journal-dir: replay its "
+        "valid records and recompute only the rest (fingerprint "
+        "mismatch exits 2)",
+    )
 
     p_part = sub.add_parser("partition", help="decomposition statistics")
     p_part.add_argument("graph", help="path to a graph file")
@@ -226,6 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("suite", help="list the analogue workload suite")
     sub.add_parser("selftest", help="quick end-to-end installation check")
+
+    p_gc = sub.add_parser(
+        "gc",
+        help="reclaim shared-memory segments orphaned by kill -9",
+    )
+    p_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list orphaned segments without removing them",
+    )
+    p_gc.add_argument(
+        "--shm-dir",
+        default=None,
+        metavar="DIR",
+        help="shared-memory filesystem to scan (default /dev/shm)",
+    )
     return parser
 
 
@@ -300,13 +339,48 @@ def _cmd_compute(args) -> int:
             )
             return 2
         kwargs["compress"] = True
+    journal_on = args.journal_dir is not None or args.resume
+    if journal_on:
+        if args.algorithm != "APGRE":
+            print(
+                f"repro-bc: error: --journal-dir/--resume need the "
+                f"decomposition and are not supported by "
+                f"{args.algorithm!r} (use APGRE)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.journal_dir is None:
+            print(
+                "repro-bc: error: --resume requires --journal-dir "
+                "(there is no journal to resume from without one)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["journal_dir"] = args.journal_dir
+        kwargs["resume"] = args.resume
     if args.delta is not None:
         return _compute_delta(args, graph, kwargs)
     if cache_on:
         kwargs["cache"] = True
         if args.cache_dir is not None:
             kwargs["cache_dir"] = args.cache_dir
-    scores = fn(graph, **kwargs)
+    journal_note = ""
+    if journal_on:
+        # run through the detailed API so the resume/journal tallies
+        # can be reported alongside the scores
+        from repro.core.apgre import apgre_bc_detailed
+        from repro.core.config import APGREConfig
+
+        result = apgre_bc_detailed(graph, APGREConfig(**kwargs))
+        scores = result.scores
+        journal_note = (
+            f"# journal: {result.stats.subgraphs_resumed} sub-graph(s) "
+            f"resumed, {result.stats.subgraphs_recomputed} recomputed "
+            f"({result.health.journal_records} record(s) in "
+            f"{args.journal_dir})"
+        )
+    else:
+        scores = fn(graph, **kwargs)
     k = min(args.top, graph.n)
     order = np.argsort(-scores)[:k]
     print(f"# {args.algorithm} BC on {args.graph} "
@@ -314,6 +388,8 @@ def _cmd_compute(args) -> int:
     print(f"{'vertex':>10s} {'bc':>16s}")
     for v in order.tolist():
         print(f"{v:>10d} {scores[v]:>16.4f}")
+    if journal_note:
+        print(journal_note)
     return 0
 
 
@@ -487,6 +563,33 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_gc(args) -> int:
+    from repro.parallel.sharedmem import (
+        DEFAULT_SHM_DIR,
+        collect_orphans,
+        list_orphans,
+    )
+
+    shm_dir = args.shm_dir if args.shm_dir is not None else DEFAULT_SHM_DIR
+    if args.dry_run:
+        orphans = list_orphans(shm_dir)
+        verb = "orphaned"
+    else:
+        orphans = collect_orphans(shm_dir)
+        verb = "removed"
+    for seg in orphans:
+        print(
+            f"{verb}: {seg.name} ({seg.size} bytes, "
+            f"dead pid {seg.pid})"
+        )
+    total = sum(seg.size for seg in orphans)
+    print(
+        f"# {len(orphans)} orphaned segment(s) {verb} "
+        f"({total} bytes) under {shm_dir}"
+    )
+    return 0
+
+
 def _cmd_selftest(_args) -> int:
     from repro.selftest import run_selftest
 
@@ -512,13 +615,22 @@ def _cmd_suite(_args) -> int:
     return 0
 
 
+def _sigterm_to_interrupt(signum, frame):  # pragma: no cover - signal
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code.
 
     Deliberate failures (:class:`repro.errors.ReproError` — bad graph
     files, unknown algorithms, unhealthy execution with fallback
-    disabled) and file-system errors exit with code 2 and a one-line
-    message on stderr instead of a traceback.
+    disabled, a journal that cannot honour ``--resume``) and
+    file-system errors exit with code 2 and a one-line message on
+    stderr instead of a traceback.  SIGTERM is remapped to
+    :class:`KeyboardInterrupt` for the whole invocation, so both
+    Ctrl-C and ``kill`` drain gracefully — in-flight work finishes,
+    journals finalise as resumable, shared memory is unlinked — and
+    exit with the conventional code 130.
     """
     args = build_parser().parse_args(argv)
     handlers = {
@@ -530,14 +642,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "suite": _cmd_suite,
         "selftest": _cmd_selftest,
+        "gc": _cmd_gc,
     }
     from repro.errors import ReproError
 
+    import signal
+    import threading
+
+    previous_term = None
+    if threading.current_thread() is threading.main_thread():
+        try:
+            previous_term = signal.signal(
+                signal.SIGTERM, _sigterm_to_interrupt
+            )
+        except (ValueError, OSError):  # pragma: no cover - platforms
+            previous_term = None
     try:
         return handlers[args.command](args)
     except (ReproError, OSError) as exc:
         print(f"repro-bc: error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("repro-bc: interrupted (work journaled so far is "
+              "resumable with --resume)", file=sys.stderr)
+        return 130
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -187,7 +187,13 @@ def apgre_bc_detailed(
         from repro.cache.store import resolve_store
 
         store = resolve_store(config.cache, config.cache_dir)
-    if store is not None:
+    if config.journal_dir is not None:
+        t0 = time.perf_counter()
+        health = _journaled_pass(
+            graph, bc, partition, config, store, counter, stats
+        )
+        timings.rest_bc = time.perf_counter() - t0
+    elif store is not None:
         t0 = time.perf_counter()
         health = _cached_pass(
             graph, bc, partition, config, store, counter, stats
@@ -440,12 +446,42 @@ def _cached_pass(
     if not misses:
         return None
 
+    def commit(index: int, local: np.ndarray, edges: int) -> None:
+        store.put(keys[index], local, edges)
+
+    return _ladder_recompute(
+        graph, bc, subgraphs, misses, config, counter, stats, commit
+    )
+
+
+def _ladder_recompute(
+    graph: CSRGraph,
+    bc: np.ndarray,
+    subgraphs,
+    misses,
+    config: APGREConfig,
+    counter,
+    stats: APGREStats,
+    commit,
+    health: Optional[RunHealth] = None,
+) -> Optional[RunHealth]:
+    """Recompute ``misses`` whole-sub-graph-at-a-time, behind the ladder.
+
+    Shared by the cached and journaled passes: each completed
+    sub-graph's full local vector and exact edge tally reach the
+    ``commit(index, local, edges)`` callback *parent-side only* (for
+    the pool path, after the poisoned-slot recovery), which persists
+    them to the store and/or the run journal.  Rungs mirror
+    :func:`_supervised_pass`: pool → serial → Brandes (the Brandes
+    rung wipes the replay/resume bookkeeping, since the scores no
+    longer decompose per sub-graph).
+    """
     if config.parallel == "processes" and config.workers > 1:
-        health = RunHealth()
+        if health is None:
+            health = RunHealth()
         try:
-            _cached_pool_recompute(
-                bc, subgraphs, keys, misses, config, store, counter,
-                health,
+            _pool_recompute(
+                bc, subgraphs, misses, config, counter, health, commit
             )
             return health
         except ExecutionError:
@@ -453,8 +489,8 @@ def _cached_pass(
                 raise
             health.fallback_path = "serial"
             try:
-                _cached_serial_recompute(
-                    bc, subgraphs, keys, misses, config, store, counter
+                _serial_recompute(
+                    bc, subgraphs, misses, config, counter, commit
                 )
             except ReproError:
                 from repro.baselines.brandes import brandes_bc
@@ -464,22 +500,20 @@ def _cached_pass(
                 # replay bookkeeping no longer describes the scores
                 stats.edges_replayed = 0
                 stats.subgraphs_replayed = 0
+                stats.edges_resumed = 0
+                stats.subgraphs_resumed = 0
             return health
     if config.parallel == "threads" and config.workers > 1:
-        _cached_thread_recompute(
-            bc, subgraphs, keys, misses, config, store, counter
-        )
-        return None
-    _cached_serial_recompute(
-        bc, subgraphs, keys, misses, config, store, counter
-    )
-    return None
+        _thread_recompute(bc, subgraphs, misses, config, counter, commit)
+        return health
+    _serial_recompute(bc, subgraphs, misses, config, counter, commit)
+    return health
 
 
-def _cached_serial_recompute(
-    bc, subgraphs, keys, misses, config: APGREConfig, store, counter
+def _serial_recompute(
+    bc, subgraphs, misses, config: APGREConfig, counter, commit
 ) -> None:
-    """Serial miss loop (also the cached pass's fallback rung)."""
+    """Serial miss loop (also the cached/journaled fallback rung)."""
     for idx in lpt_order([subgraphs[i].num_arcs for i in misses]):
         sg = subgraphs[misses[idx]]
         tally = WorkCounter()
@@ -490,15 +524,19 @@ def _cached_serial_recompute(
             batch_size=config.batch_size,
             compress=config.compress,
         )
-        store.put(keys[sg.index], local, tally.edges)
+        commit(sg.index, local, tally.edges)
         bc[sg.vertices] += local
         counter.add(tally.edges)
 
 
-def _cached_thread_recompute(
-    bc, subgraphs, keys, misses, config: APGREConfig, store, counter
+def _thread_recompute(
+    bc, subgraphs, misses, config: APGREConfig, counter, commit
 ) -> None:
-    """Thread-pool miss recomputation (one whole sub-graph per task)."""
+    """Thread-pool miss recomputation (one whole sub-graph per task).
+
+    Commits happen on the caller's thread as results stream back in
+    completion order, so the store/journal writers never race.
+    """
     order = lpt_order([subgraphs[i].num_arcs for i in misses])
     miss_order = [misses[i] for i in order]
 
@@ -518,20 +556,19 @@ def _cached_thread_recompute(
         run_one, miss_order, workers=config.workers
     ):
         sg = subgraphs[index]
-        store.put(keys[index], local, edges)
+        commit(index, local, edges)
         bc[sg.vertices] += local
         counter.add(edges)
 
 
-def _cached_pool_recompute(
+def _pool_recompute(
     bc,
     subgraphs,
-    keys,
     misses,
     config: APGREConfig,
-    store,
     counter,
     health: RunHealth,
+    commit,
 ) -> None:
     """Fan cache misses out over the shared-memory batched pool.
 
@@ -540,10 +577,10 @@ def _cached_pool_recompute(
     compose unchanged), but the pool accumulates into a *concatenated
     local coordinate space* — each miss sub-graph owns a contiguous
     slice of the shared score rows — so the parent gets every miss's
-    complete local vector back and can store it, which the global-sum
+    complete local vector back and can commit it, which the global-sum
     layout of :func:`_batched_pool_pass` cannot provide.  Per-batch
     edge tallies come back exactly and are summed per sub-graph, so
-    cached entries replay the same tally a serial run would count.
+    committed entries replay the same tally a serial run would count.
     """
     from repro.parallel.batched_pool import _pooled_contributions
 
@@ -599,8 +636,128 @@ def _cached_pool_recompute(
         per_sg_edges[mi] += batch_edges[task_id]
     for mi, sg in enumerate(miss_sgs):
         local = concat[offsets[mi] : offsets[mi + 1]]
-        store.put(keys[sg.index], local, int(per_sg_edges[mi]))
+        commit(sg.index, local, int(per_sg_edges[mi]))
         bc[sg.vertices] += local
+
+
+def _journaled_pass(
+    graph: CSRGraph,
+    bc: np.ndarray,
+    partition: Partition,
+    config: APGREConfig,
+    store,
+    counter,
+    stats: APGREStats,
+) -> RunHealth:
+    """Journal-aware BC phase: replay the journal, recompute the rest.
+
+    Mirrors :func:`_cached_pass`, with the run journal
+    (:mod:`repro.journal`) as the durability layer underneath:
+
+    1. ``begin`` opens (or, with ``resume=True``, verifies and
+       replays) the journal in ``config.journal_dir``; a fingerprint
+       mismatch raises :class:`~repro.errors.JournalError` before any
+       BC work starts.
+    2. Journal-replayed sub-graphs merge their durable local vectors
+       (``stats.subgraphs_resumed`` / ``edges_resumed``).
+    3. With a cache configured, remaining sub-graphs consult the store
+       next; hits are journaled too, so the resume contract never
+       depends on cache warmth.
+    4. The rest recompute through :func:`_ladder_recompute`; every
+       completed contribution is committed to the journal (and store)
+       parent-side, after the pool's poisoned-slot recovery.
+
+    A :class:`KeyboardInterrupt` (SIGINT, or the CLI's SIGTERM
+    translation) or an :class:`~repro.errors.ExecutionError` with
+    ``fallback=False`` finalises the journal as a *resumable partial
+    result* before re-raising — the error message names the journal
+    directory so the operator knows ``--resume`` will pick the run
+    back up.
+    """
+    from repro.journal import RunJournal, run_fingerprint
+
+    subgraphs = partition.subgraphs
+    journal = RunJournal(config.journal_dir)
+    resumed = journal.begin(
+        run_fingerprint(graph, config), resume=config.resume
+    )
+    health = RunHealth()
+    health.journal_resumable = bool(resumed)
+
+    todo: List[int] = []
+    for sg in subgraphs:
+        entry = resumed.get(sg.index)
+        if entry is not None and entry.scores.size == sg.num_vertices:
+            bc[sg.vertices] += entry.scores
+            stats.edges_resumed += entry.edges
+            stats.subgraphs_resumed += 1
+        else:
+            todo.append(sg.index)
+
+    keys = None
+    if store is not None:
+        from repro.cache.fingerprint import subgraph_key
+
+        keys = [
+            subgraph_key(
+                sg,
+                eliminate_pendants=config.eliminate_pendants,
+                compress=config.compress,
+            )
+            for sg in subgraphs
+        ]
+        misses: List[int] = []
+        for index in todo:
+            sg = subgraphs[index]
+            entry = store.get(keys[index])
+            if entry is not None and entry.scores.size == sg.num_vertices:
+                bc[sg.vertices] += entry.scores
+                stats.edges_replayed += entry.edges
+                stats.subgraphs_replayed += 1
+                journal.record_contribution(
+                    index, entry.scores, entry.edges
+                )
+            else:
+                misses.append(index)
+        todo = misses
+    stats.subgraphs_recomputed = len(todo)
+
+    def commit(index: int, local: np.ndarray, edges: int) -> None:
+        if store is not None:
+            store.put(keys[index], local, edges)
+        journal.record_contribution(index, local, edges)
+
+    try:
+        if todo:
+            _ladder_recompute(
+                graph, bc, subgraphs, todo, config, counter, stats,
+                commit, health,
+            )
+    except KeyboardInterrupt:
+        journal.finalize("interrupted")
+        health.interrupted = True
+        health.journal_records = journal.records_written
+        health.journal_resumable = True
+        raise
+    except ExecutionError as exc:
+        # fallback=False: surface the failure, but as a *resumable* one
+        journal.finalize("partial")
+        health.journal_records = journal.records_written
+        health.journal_resumable = True
+        durable = journal.records_written + stats.subgraphs_resumed
+        raise type(exc)(
+            f"{exc} [{durable} contribution(s) journaled in "
+            f"{config.journal_dir}; rerun with resume=True / --resume "
+            f"to continue from them]"
+        ) from exc
+    except BaseException:
+        journal.finalize("partial")
+        raise
+    journal.finalize(
+        "partial" if health.fallback_path == "brandes" else "complete"
+    )
+    health.journal_records = journal.records_written
+    return health
 
 
 def apgre_bc(
@@ -620,6 +777,8 @@ def apgre_bc(
     cache=None,
     cache_dir=None,
     compress: bool = False,
+    journal_dir=None,
+    resume: bool = False,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -634,7 +793,9 @@ def apgre_bc(
     contribution cache — see :mod:`repro.cache` and docs/CACHING.md;
     ``compress`` runs each sub-graph through the structural
     compression ladder first — see :mod:`repro.compress` and
-    docs/COMPRESSION.md).
+    docs/COMPRESSION.md; ``journal_dir``/``resume`` enable the
+    crash-safe run journal and checkpoint/resume — see
+    :mod:`repro.journal` and docs/ROBUSTNESS.md).
     """
     kwargs = dict(
         parallel=parallel,
@@ -650,6 +811,8 @@ def apgre_bc(
         cache=cache,
         cache_dir=cache_dir,
         compress=compress,
+        journal_dir=journal_dir,
+        resume=resume,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

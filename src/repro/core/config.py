@@ -96,6 +96,21 @@ class APGREConfig:
         Composes with every execution path, including ``cache=`` —
         compressed runs fingerprint the *plan*, so structurally
         twin-heavy identical sub-graphs share one store entry.
+    journal_dir:
+        Directory for the crash-safe run journal (:mod:`repro.journal`):
+        every completed sub-graph contribution is durably committed to
+        an append-only checksummed log so a killed run resumes from its
+        last committed sub-graph.  ``None`` (default) disables
+        journaling.  The fingerprint pins only score-relevant fields
+        (threshold / alpha_beta_method / eliminate_pendants), so a run
+        may resume under a different execution strategy than it was
+        journaled under.
+    resume:
+        Resume from the journal in ``journal_dir``: replay every valid
+        record (torn tails are dropped by checksum) and recompute only
+        the unjournaled sub-graphs.  Requires ``journal_dir``; a
+        missing journal or a fingerprint mismatch raises
+        :class:`~repro.errors.JournalError`.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -112,6 +127,8 @@ class APGREConfig:
     cache: object = None
     cache_dir: Optional[str] = None
     compress: bool = False
+    journal_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -147,6 +164,11 @@ class APGREConfig:
         if self.max_retries < 0:
             raise AlgorithmError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.resume and not self.journal_dir:
+            raise AlgorithmError(
+                "resume=True requires journal_dir (there is no journal "
+                "to resume from without one)"
             )
         if self.cache is not None and not isinstance(self.cache, bool):
             # duck-typed on purpose: importing repro.cache here would

@@ -91,6 +91,14 @@ class APGREStats:
     hardware rate, and ``edges_replayed`` quantifies the work the
     cache eliminated.
 
+    ``edges_resumed`` / ``subgraphs_resumed`` are the journal's
+    analogue (``resume=True`` runs only — docs/ROBUSTNESS.md): the
+    examined-edge tallies and count of sub-graph contributions
+    *replayed from the run journal* instead of recomputed.  Like
+    ``edges_replayed`` they never feed TEPS, and the identity
+    ``edges_resumed + edges_replayed + edges_traversed`` equals the
+    from-scratch ``edges_traversed`` of an identical unjournaled run.
+
     ``vertices_merged`` / ``chains_contracted`` / ``vertices_peeled``
     tally the structural compression (``compress=True`` runs only;
     docs/COMPRESSION.md): twin-class members collapsed into their
@@ -108,7 +116,9 @@ class APGREStats:
     num_sources: int = 0
     edges_traversed: int = 0
     edges_replayed: int = 0
+    edges_resumed: int = 0
     subgraphs_replayed: int = 0
+    subgraphs_resumed: int = 0
     subgraphs_recomputed: int = 0
     alpha_beta_pairs: int = 0
     alpha_beta_method: str = ""

@@ -16,6 +16,7 @@ __all__ = [
     "AlgorithmError",
     "BenchmarkError",
     "CacheError",
+    "JournalError",
     "ExecutionError",
     "WorkerCrashError",
     "TaskTimeoutError",
@@ -78,6 +79,18 @@ class CacheError(ReproError):
     ``cache_dir`` that cannot be written, or a store/``cache_dir``
     configuration conflict. A *corrupted* on-disk entry is never an
     error — it degrades to a cache miss and is recomputed.
+    """
+
+
+class JournalError(ReproError):
+    """The run journal was misconfigured or cannot honour a resume.
+
+    Raised by :mod:`repro.journal` for an unwritable ``journal_dir``,
+    a resume against a directory holding no valid journal, or a header
+    fingerprint that does not match the graph/configuration being
+    resumed.  A *corrupted* journal tail is never an error — checksum
+    validation drops the torn records and the affected sub-graphs are
+    recomputed (docs/ROBUSTNESS.md).
     """
 
 

@@ -1,0 +1,31 @@
+"""Crash-safe run journal: checkpoint/resume for long BC runs.
+
+See :mod:`repro.journal.journal` for the engine and
+docs/ROBUSTNESS.md for the crash-recovery matrix.
+"""
+
+from repro.journal.format import (
+    RECORD_MAGIC,
+    decode_line,
+    encode_record,
+    payload_digest,
+    scan_log,
+)
+from repro.journal.journal import (
+    JOURNAL_VERSION,
+    ResumedContribution,
+    RunJournal,
+    run_fingerprint,
+)
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "RECORD_MAGIC",
+    "ResumedContribution",
+    "RunJournal",
+    "decode_line",
+    "encode_record",
+    "payload_digest",
+    "run_fingerprint",
+    "scan_log",
+]

@@ -1,0 +1,124 @@
+"""On-disk record format of the run journal.
+
+The journal log is a plain-text, append-only file of one record per
+line::
+
+    J1 <blake2b-128 hex> <compact JSON body>\n
+
+The checksum covers exactly the JSON bytes, so *any* torn tail — a
+record cut mid-line by a crash, ``ENOSPC`` truncation, or a corrupted
+byte — fails verification and is dropped together with everything
+after it.  Records are never trusted structurally: a line that parses
+as JSON but fails its checksum is as dead as a half-written one.
+
+Record bodies are dicts with a ``type`` key:
+
+``header``
+    First record of every journal.  Carries the run fingerprint
+    (graph hash + score-relevant config digest — see
+    :func:`repro.journal.journal.run_fingerprint`) and environment
+    provenance.
+``contribution``
+    One completed sub-graph contribution: the sub-graph index, its
+    payload file name, the BLAKE2b digest of the payload bytes, the
+    local vertex count and the exact examined-edge tally.
+``final``
+    Terminal marker (``status`` of ``complete`` / ``partial`` /
+    ``interrupted``).  Purely informational: resume replays
+    contribution records whether or not a final record exists.
+
+Binary score vectors live *outside* the log, one raw ``.npy`` per
+sub-graph written with the same atomic write-then-rename discipline as
+:mod:`repro.cache.store`; the log records their content digest so a
+torn payload (rename survived, bytes did not) is detected on replay
+and degrades to a recompute, never to silently wrong scores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "RECORD_MAGIC",
+    "encode_record",
+    "decode_line",
+    "payload_digest",
+    "scan_log",
+]
+
+#: Line magic; bumped on any framing change so an old reader can never
+#: misparse a new journal (and vice versa).
+RECORD_MAGIC = "J1"
+
+#: BLAKE2b digest width (hex chars = 2x) — matches the cache
+#: fingerprints' 128-bit collision margin.
+_DIGEST_SIZE = 16
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def payload_digest(data: bytes) -> str:
+    """Content digest recorded for (and checked against) payload files."""
+    return _digest(data)
+
+
+def encode_record(body: Dict) -> bytes:
+    """Serialise one record body to its checksummed log line."""
+    payload = json.dumps(
+        body, separators=(",", ":"), sort_keys=True
+    ).encode()
+    return b" ".join(
+        (RECORD_MAGIC.encode(), _digest(payload).encode(), payload)
+    ) + b"\n"
+
+
+def decode_line(line: bytes) -> Optional[Dict]:
+    """Parse one log line; ``None`` for anything torn or corrupt."""
+    if not line.endswith(b"\n"):
+        return None  # truncated tail: the write never completed
+    parts = line.rstrip(b"\n").split(b" ", 2)
+    if len(parts) != 3 or parts[0] != RECORD_MAGIC.encode():
+        return None
+    checksum, payload = parts[1], parts[2]
+    if _digest(payload).encode() != checksum:
+        return None
+    try:
+        body = json.loads(payload)
+    except json.JSONDecodeError:  # pragma: no cover - checksum passed
+        return None
+    return body if isinstance(body, dict) else None
+
+
+def scan_log(path: Path) -> Tuple[List[Dict], int]:
+    """Read every valid record of a journal log.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    offset one past the last valid record — the clean resume point a
+    re-opened journal truncates to before appending.  Scanning stops
+    at the first invalid line: a torn record's bytes are garbage and
+    nothing after them has a trustworthy frame boundary.
+    """
+    records: List[Dict] = []
+    valid_bytes = 0
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        return records, valid_bytes
+    offset = 0
+    while offset < len(data):
+        end = data.find(b"\n", offset)
+        if end < 0:
+            break  # torn tail without a newline
+        line = data[offset : end + 1]
+        body = decode_line(line)
+        if body is None:
+            break
+        records.append(body)
+        offset = end + 1
+        valid_bytes = offset
+    return records, valid_bytes

@@ -37,6 +37,8 @@ from __future__ import annotations
 import contextlib
 import multiprocessing as mp
 import os
+import signal
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -240,6 +242,37 @@ class _StealSupervisor(_PoolSupervisor):
 # ----------------------------------------------------------------------
 # parent-side driver
 # ----------------------------------------------------------------------
+def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - signal
+    raise KeyboardInterrupt
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Translate SIGTERM into :class:`KeyboardInterrupt` while active.
+
+    SIGTERM's default action kills the process with no unwinding — no
+    supervisor drain, no ``ExitStack`` unlink of the shared segments,
+    no journal finalisation.  Remapping it to the same exception
+    SIGINT raises routes both through the one graceful-shutdown path
+    (:meth:`_PoolSupervisor._drain_interrupted` → segment cleanup →
+    journal ``finalize("interrupted")``).  Restores the previous
+    handler on exit; a no-op off the main thread, where Python forbids
+    installing handlers.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _pooled_contributions(
     compute: Callable[[int], Tuple[Optional[np.ndarray], np.ndarray, int]],
     weights: Sequence[float],
@@ -305,6 +338,9 @@ def _pooled_contributions(
         budget = max(2 * workers, 4)
     slots = workers + budget + 4
     with contextlib.ExitStack() as stack:
+        # first in, last out: the SIGTERM remap outlives the segments,
+        # so a termination any time in this block still unlinks them
+        stack.enter_context(_graceful_sigterm())
         scores = stack.enter_context(
             SharedArray.create((slots, n), SCORE_DTYPE)
         )
@@ -435,6 +471,7 @@ def batched_pool_bc_scores(
 
     # publish the CSR arrays once; workers see the same physical pages
     with contextlib.ExitStack() as stack:
+        stack.enter_context(_graceful_sigterm())
 
         def publish(arr: np.ndarray) -> np.ndarray:
             shared = stack.enter_context(

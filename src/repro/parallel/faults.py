@@ -18,20 +18,37 @@ worker shim calls around the task function:
   result with :attr:`FaultSpec.replacement` (paired with the
   supervisor's ``validate`` hook to exercise the corrupt-result path).
 
-Faults fire only inside worker processes.  The supervisor's inline and
-serial-fallback paths never consult the plan: the serial rung of the
-degradation ladder is exactly the trusted path a real deployment falls
-back to, and a ``kill`` fault firing inline would take the test runner
-down with it.
+Worker faults fire only inside worker processes.  The supervisor's
+inline and serial-fallback paths never consult the plan: the serial
+rung of the degradation ladder is exactly the trusted path a real
+deployment falls back to, and a ``kill`` fault firing inline would
+take the test runner down with it.
+
+**Disk faults** are the second family: specs with a non-empty
+:attr:`FaultSpec.target` name an *operation point in the disk layer*
+instead of a pool task.  The journal writer (:mod:`repro.journal`) and
+the cache's disk layer (:mod:`repro.cache.store`) call
+:func:`fire_disk_faults` once per write operation; ``spec.task`` then
+indexes the operations on that target (0 = first write), and the kinds
+``"torn_write"`` (the caller truncates its write mid-record),
+``"enospc"`` (``OSError(ENOSPC)`` raised at the write site), ``"kill"``
+(``SIGKILL`` the *current* process at exactly this disk op — parent or
+worker, simulating power loss) and ``"delay"`` become available at
+byte-level-deterministic positions.  Disk faults fire in whichever
+process performs the write — for the journal that is the parent, which
+is exactly the process whose death mid-write the resume contract must
+survive (tests/test_journal.py).
 """
 
 from __future__ import annotations
 
+import errno
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "KILL_EXIT_CODE",
@@ -44,12 +61,16 @@ __all__ = [
     "injected_faults",
     "fire_pre_faults",
     "apply_corruption",
+    "fire_disk_faults",
 ]
 
 #: Exit status used by ``kill`` faults — distinctive in core dumps/logs.
 KILL_EXIT_CODE = 113
 
-_KINDS = ("kill", "delay", "raise", "corrupt")
+_KINDS = ("kill", "delay", "raise", "corrupt", "torn_write", "enospc")
+
+#: Kinds that only make sense at a disk-layer operation point.
+_DISK_ONLY_KINDS = ("torn_write", "enospc")
 
 
 class InjectedFault(RuntimeError):
@@ -86,6 +107,14 @@ class FaultSpec:
         result pipe, i.e. be picklable).
     message:
         Exception text for ``raise`` faults.
+    target:
+        Empty for worker faults (the default).  A non-empty target
+        names a disk-layer operation point (``"journal.payload"``,
+        ``"journal.append"``, ``"journal.committed"``,
+        ``"cache.disk"``) and turns ``task`` into the 0-based index of
+        the write operations performed on that target; such specs are
+        consulted by :func:`fire_disk_faults` instead of the worker
+        hooks.  The ``torn_write``/``enospc`` kinds require a target.
     """
 
     kind: str
@@ -94,6 +123,7 @@ class FaultSpec:
     seconds: float = 0.0
     replacement: Any = None
     message: str = "injected fault"
+    target: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -101,6 +131,11 @@ class FaultSpec:
                              f"got {self.kind!r}")
         if self.task < 0:
             raise ValueError(f"task index must be >= 0, got {self.task}")
+        if self.kind in _DISK_ONLY_KINDS and not self.target:
+            raise ValueError(
+                f"{self.kind!r} faults are disk faults and need a "
+                f"target (e.g. 'journal.append')"
+            )
         # tolerate any iterable of ints for convenience
         object.__setattr__(self, "attempts", tuple(self.attempts))
 
@@ -115,11 +150,25 @@ class FaultPlan:
         self.specs: List[FaultSpec] = list(specs)
 
     def find(
-        self, task: int, attempt: int, *, kinds: Sequence[str] = _KINDS
+        self,
+        task: int,
+        attempt: int,
+        *,
+        kinds: Sequence[str] = _KINDS,
+        target: str = "",
     ) -> Optional[FaultSpec]:
-        """First spec matching (task, attempt) among ``kinds``."""
+        """First spec matching (task, attempt) among ``kinds``.
+
+        ``target`` selects the fault family: ``""`` (worker faults)
+        never matches disk specs and vice versa, so one plan can mix
+        both without cross-firing.
+        """
         for spec in self.specs:
-            if spec.kind in kinds and spec.matches(task, attempt):
+            if (
+                spec.kind in kinds
+                and spec.target == target
+                and spec.matches(task, attempt)
+            ):
                 return spec
         return None
 
@@ -131,17 +180,23 @@ class FaultPlan:
 # children see it without any pickling; cleared with clear_faults().
 _PLAN: Optional[FaultPlan] = None
 
+# Per-target counters of disk-layer operations performed so far; reset
+# whenever a plan is (un)installed so successive tests are independent.
+_DISK_OPS: Dict[str, int] = {}
+
 
 def install_faults(plan: FaultPlan) -> None:
     """Activate ``plan`` for subsequently forked workers."""
     global _PLAN
     _PLAN = plan
+    _DISK_OPS.clear()
 
 
 def clear_faults() -> None:
     """Deactivate fault injection (idempotent)."""
     global _PLAN
     _PLAN = None
+    _DISK_OPS.clear()
 
 
 def active_plan() -> Optional[FaultPlan]:
@@ -191,3 +246,38 @@ def apply_corruption(task: int, attempt: int, result: Any) -> Any:
     if spec is None:
         return result
     return spec.replacement
+
+
+def fire_disk_faults(target: str) -> Optional[FaultSpec]:
+    """Disk-layer hook: consult the plan at one write-operation point.
+
+    Called by the journal writer and the cache disk layer once per
+    write on ``target``; the call itself advances the target's
+    operation counter, making fault positions byte-level deterministic.
+
+    ``kill`` delivers ``SIGKILL`` to the current process (no ``atexit``
+    / ``finally`` runs — power-loss semantics at exactly this write);
+    ``delay`` sleeps (so a test can park a run at a known durable
+    point); ``enospc`` raises ``OSError(ENOSPC)`` as the filesystem
+    would.  ``torn_write`` is *returned* to the caller, which must cut
+    its write short — only the writer knows its record framing.
+    Returns the matched spec (``torn_write``) or ``None``.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    op = _DISK_OPS.get(target, 0)
+    _DISK_OPS[target] = op + 1
+    spec = plan.find(op, 0, target=target)
+    if spec is None:
+        return None
+    if spec.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.kind == "delay":
+        time.sleep(spec.seconds)
+        return None
+    elif spec.kind == "enospc":
+        raise OSError(
+            errno.ENOSPC, f"injected ENOSPC ({target} op {op})"
+        )
+    return spec

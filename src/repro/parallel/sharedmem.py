@@ -13,17 +13,41 @@ a :mod:`weakref` finalizer that closes (and, for the creating process,
 unlinks) the segment if the owner forgets to, so an exception anywhere
 between ``create`` and ``unlink`` cannot leak a ``/dev/shm`` segment
 for the lifetime of the machine.
+
+All segments created here are named ``repro-bc-<creator pid>-<hex>``,
+so a segment orphaned by ``kill -9`` (the one case no finalizer can
+cover — SIGKILL runs nothing) is identifiable afterwards:
+:func:`list_orphans` scans the shared-memory filesystem for segments
+whose embedded creator pid is no longer alive and
+:func:`collect_orphans` removes them (the ``repro gc`` CLI
+subcommand).
 """
 
 from __future__ import annotations
 
 import os
+import secrets
+from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["SharedArray"]
+__all__ = [
+    "SharedArray",
+    "OrphanSegment",
+    "list_orphans",
+    "collect_orphans",
+]
+
+#: Segment name prefix; the full pattern is
+#: ``repro-bc-<creator pid>-<8 hex chars>``.
+SEGMENT_PREFIX = "repro-bc"
+
+#: Where POSIX shared memory appears as files (Linux).  gc helpers
+#: take it as a parameter so tests can point them at a scratch dir.
+DEFAULT_SHM_DIR = "/dev/shm"
 
 
 def _cleanup(shm: shared_memory.SharedMemory, owner: bool, pid: int) -> None:
@@ -88,9 +112,30 @@ class SharedArray:
 
     @classmethod
     def create(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
-        """Allocate a zero-initialised shared array (caller owns it)."""
+        """Allocate a zero-initialised shared array (caller owns it).
+
+        The segment is named ``repro-bc-<pid>-<hex>`` so that, should
+        this process die by SIGKILL before unlinking (no finalizer
+        runs), :func:`list_orphans`/:func:`collect_orphans` can
+        identify and reclaim it from the creator pid in the name.
+        """
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        shm = None
+        for _ in range(8):
+            name = (
+                f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+            )
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(nbytes, 1)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 2^32 collision
+                continue
+        if shm is None:  # pragma: no cover - eight collisions in a row
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 1)
+            )
         out = cls(shm, shape, dtype, owner=True)
         out.array.fill(0)
         return out
@@ -139,3 +184,82 @@ class SharedArray:
         self.close()
         if self._owner:
             self.unlink()
+
+
+# ----------------------------------------------------------------------
+# orphan reclamation (the `repro gc` subcommand)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OrphanSegment:
+    """One shared-memory segment whose creating process is gone."""
+
+    name: str
+    path: str
+    pid: int
+    size: int
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, but owned by someone else
+        return True
+    return True
+
+
+def list_orphans(
+    shm_dir: Union[str, Path] = DEFAULT_SHM_DIR,
+) -> List[OrphanSegment]:
+    """Scan ``shm_dir`` for dead-creator ``repro-bc-*`` segments.
+
+    Only segments matching this module's naming scheme are considered
+    — foreign shared memory is never touched — and a segment counts as
+    orphaned only when its embedded creator pid is no longer alive, so
+    concurrent live runs are safe from a parallel ``repro gc``.
+    """
+    orphans: List[OrphanSegment] = []
+    try:
+        entries = sorted(os.listdir(shm_dir))
+    except OSError:
+        return orphans
+    for entry in entries:
+        if not entry.startswith(SEGMENT_PREFIX + "-"):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        path = os.path.join(str(shm_dir), entry)
+        try:
+            size = os.stat(path).st_size
+        except OSError:
+            continue  # gone between listdir and stat
+        orphans.append(
+            OrphanSegment(name=entry, path=path, pid=pid, size=size)
+        )
+    return orphans
+
+
+def collect_orphans(
+    shm_dir: Union[str, Path] = DEFAULT_SHM_DIR,
+) -> List[OrphanSegment]:
+    """Remove every orphan :func:`list_orphans` finds; returns them.
+
+    Removal unlinks the backing file directly (not via
+    ``SharedMemory.unlink``) so the resource tracker of *this* process
+    is never involved with segments it does not own.
+    """
+    removed: List[OrphanSegment] = []
+    for orphan in list_orphans(shm_dir):
+        try:
+            os.unlink(orphan.path)
+        except OSError:  # pragma: no cover - raced with another gc
+            continue
+        removed.append(orphan)
+    return removed

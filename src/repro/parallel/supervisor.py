@@ -146,6 +146,9 @@ class RunHealth:
     drained_serial: int = 0   # tasks drained serially after abandonment
     inline: bool = False      # whole map ran inline (no pool involved)
     fallback_path: str = ""   # ""|"serial"|"brandes": computation-level rung
+    interrupted: bool = False  # run stopped by SIGINT/SIGTERM drain
+    journal_records: int = 0  # contributions durably journaled this run
+    journal_resumable: bool = False  # a journal exists to resume from
     outcomes: List[TaskOutcome] = field(default_factory=list)
 
     @property
@@ -181,6 +184,11 @@ class RunHealth:
         self.drained_serial += other.drained_serial
         self.inline = self.inline and other.inline
         self.fallback_path = self.fallback_path or other.fallback_path
+        self.interrupted = self.interrupted or other.interrupted
+        self.journal_records += other.journal_records
+        self.journal_resumable = (
+            self.journal_resumable or other.journal_resumable
+        )
         self.outcomes.extend(other.outcomes)
         return self
 
@@ -205,6 +213,12 @@ class RunHealth:
             parts.append("pool abandoned")
         if self.fallback_path:
             parts.append(f"fell back to {self.fallback_path}")
+        if self.interrupted:
+            parts.append("interrupted")
+        if self.journal_resumable:
+            parts.append(
+                f"resumable ({self.journal_records} journaled)"
+            )
         return ", ".join(parts)
 
 
@@ -326,9 +340,32 @@ class _PoolSupervisor:
                 self._collect()
                 self._reap_crashes()
                 self._reap_timeouts()
+        except KeyboardInterrupt:
+            self._drain_interrupted()
+            raise
         finally:
             self._shutdown()
         return [self.results[i] for i in range(self.num_tasks)]
+
+    def _drain_interrupted(self) -> None:
+        """Graceful SIGINT/SIGTERM drain: finish in-flight tasks only.
+
+        Nothing pending is dispatched; the workers already running a
+        task are given up to one task-timeout (else 10s) to deliver
+        their result so their work is not discarded mid-write.  A
+        second interrupt during the drain aborts it immediately.  The
+        caller still sees the original :class:`KeyboardInterrupt` —
+        this only bounds how much completed work it can salvage.
+        """
+        self.health.interrupted = True
+        self.pending = []
+        deadline = time.monotonic() + (self.config.timeout or 10.0)
+        try:
+            while self.busy and time.monotonic() < deadline:
+                self._collect()
+                self._reap_crashes()
+        except KeyboardInterrupt:
+            pass  # second interrupt: stop draining now
 
     def _shutdown(self) -> None:
         for worker in self.idle:
