@@ -34,6 +34,7 @@ def brandes_bc(
     batch_size=None,
     workers: int = 1,
     steal: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Exact BC via Brandes' algorithm (float64, unnormalised).
 
@@ -46,8 +47,9 @@ def brandes_bc(
     (:mod:`repro.graph.batched`) — same scores within float64
     tolerance, same edge tally, far fewer per-level kernel launches.
     ``workers > 1`` composes with it: source batches fan out across
-    the persistent shared-memory pool
-    (:mod:`repro.parallel.batched_pool`; ``steal`` toggles work
+    the execution backend named by ``backend`` (``"threads"`` /
+    ``"processes"`` / ``"serial"`` / ``"auto"``, default per host —
+    see :mod:`repro.parallel.backends`; ``steal`` toggles work
     stealing between workers).
     """
     return run_per_source(
@@ -57,6 +59,7 @@ def brandes_bc(
         batch_size=batch_size,
         workers=workers,
         steal=steal,
+        backend=backend,
     )
 
 

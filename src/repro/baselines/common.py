@@ -138,6 +138,7 @@ def run_per_source(
     health=None,
     batch_size=None,
     steal: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Sum per-source dependencies into BC scores.
 
@@ -160,21 +161,29 @@ def run_per_source(
     per-source path within float64 tolerance and the edge tally is
     identical.
 
-    Composing both selects the persistent shared-memory pool
-    (:func:`repro.parallel.batched_pool.batched_pool_bc_scores`): the
-    CSR arrays are published once, workers pull LPT-ordered source
-    batches (``steal`` lets idle workers take over a straggler's
-    remaining batches) and accumulate into shared score rows, and —
-    unlike the per-source chunk pool — ``counter`` aggregates the
-    exact serial edge tally across workers.  On the per-source pool
-    (``workers > 1`` without ``batch_size``) counters still stay in
-    the children; pass ``workers=1`` there when instrumenting.
+    Composing both dispatches through the execution-backend registry
+    (:mod:`repro.parallel.backends`): ``backend`` names the engine
+    (``"serial"`` / ``"threads"`` / ``"processes"`` / ``"auto"``), and
+    ``None`` defers to ``REPRO_PARALLEL_BACKEND`` and then the host
+    default — worker *threads* over the shared in-process CSR when
+    scipy's GIL-releasing SpMM kernel is available, the fork-based
+    shared-memory process pool otherwise.  Either way workers pull
+    LPT-ordered source batches (``steal`` lets idle workers take over
+    a straggler's remaining batches) and — unlike the per-source chunk
+    pool — ``counter`` aggregates the exact serial edge tally across
+    workers.  Passing ``backend`` without ``batch_size`` implies
+    ``batch_size="auto"`` (the engines run the batched kernel).  On
+    the per-source pool (``workers > 1`` without ``batch_size``)
+    counters still stay in the children; pass ``workers=1`` there when
+    instrumenting.
     """
     n = graph.n
     if sources is None:
         source_list: Sequence[int] = range(n)
     else:
         source_list = sources
+    if backend is not None and batch_size is None:
+        batch_size = "auto"
     if batch_size is not None:
         if mode != "arcs":
             raise AlgorithmError(
@@ -185,14 +194,19 @@ def run_per_source(
             raise AlgorithmError(
                 "batch_size requires the default bfs_sigma forward"
             )
-    if workers > 1 and batch_size is not None:
+    if batch_size is not None and (workers > 1 or backend is not None):
         from repro.graph.batched import resolve_batch_size
-        from repro.parallel.batched_pool import batched_pool_bc_scores
+        from repro.parallel.backends import resolve_backend
 
+        engine = resolve_backend(backend)
         batch = resolve_batch_size(
-            batch_size, n, graph.num_arcs, workers=workers
+            batch_size,
+            n,
+            graph.num_arcs,
+            workers=workers,
+            shared_csr=engine.shared_csr,
         )
-        return batched_pool_bc_scores(
+        return engine.scores(
             graph,
             list(source_list),
             batch=batch,

@@ -30,13 +30,16 @@ def preds_bc(
     counter: Optional[WorkCounter] = None,
     batch_size=None,
     steal: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Exact BC with stored predecessor arcs (Bader–Madduri).
 
     ``batch_size`` routes the run through the multi-source batched
     kernel (the predecessor arcs are shared per level across the
     batch); composed with ``workers`` the batches fan out over the
-    persistent shared-memory pool (``steal`` toggles work stealing).
+    execution backend named by ``backend`` (threads / processes /
+    serial, host default when unset — :mod:`repro.parallel.backends`;
+    ``steal`` toggles work stealing).
     """
     return run_per_source(
         graph,
@@ -45,4 +48,5 @@ def preds_bc(
         counter=counter,
         batch_size=batch_size,
         steal=steal,
+        backend=backend,
     )

@@ -34,14 +34,22 @@ __all__ = [
 _SCHEMA_VERSION = 2
 
 
-def environment_provenance(workers: Optional[int] = None) -> Dict:
+def environment_provenance(
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Dict:
     """Describe the machine and toolchain behind a benchmark number.
 
     Perf numbers are only interpretable next to the environment that
     produced them (a 1.0x "speedup" at 4 workers is expected on a
     1-CPU container and a bug on a 16-core box), so every BENCH_*.json
     embeds this block.  ``workers`` records the worker count the
-    benchmark actually ran with, when it has one.
+    benchmark actually ran with, when it has one, and ``backend`` the
+    active execution backend (additive schema-2 keys); the block also
+    records which backends the host could have run
+    (``backends_available``) and which one ``"auto"`` resolves to
+    (``backend_default``), so a committed speedup table can be audited
+    against the machine that produced it.
     """
     import numpy
 
@@ -51,6 +59,11 @@ def environment_provenance(workers: Optional[int] = None) -> Dict:
         scipy_version: Optional[str] = scipy.__version__
     except ImportError:  # pragma: no cover - scipy absent in minimal envs
         scipy_version = None
+    from repro.parallel.backends import (
+        backend_names,
+        default_backend_name,
+        get_backend,
+    )
     from repro.parallel.pool import available_workers
 
     info: Dict = {
@@ -61,9 +74,15 @@ def environment_provenance(workers: Optional[int] = None) -> Dict:
         "numpy": numpy.__version__,
         "scipy": scipy_version,
         "platform": sys.platform,
+        "backends_available": [
+            name for name in backend_names() if get_backend(name).available()
+        ],
+        "backend_default": default_backend_name(),
     }
     if workers is not None:
         info["workers"] = int(workers)
+    if backend is not None:
+        info["backend"] = str(backend)
     return info
 
 

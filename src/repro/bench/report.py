@@ -8,9 +8,15 @@ numeric series plus ASCII bars.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
-__all__ = ["render_table", "render_bars", "render_lines", "format_value"]
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_lines",
+    "render_environment",
+    "format_value",
+]
 
 
 def format_value(value, *, width: int = 0) -> str:
@@ -63,6 +69,34 @@ def render_table(
         for note_line in notes.splitlines():
             lines.append(f"  note: {note_line}")
     return "\n".join(lines)
+
+
+def render_environment(environment: Mapping) -> str:
+    """One-line summary of a BENCH_*.json ``environment`` block.
+
+    Surfaces the provenance that decides whether a speedup table is
+    believable on the machine that produced it: core count, the active
+    execution backend and worker count (when the run recorded them —
+    additive schema-2 keys, absent in older files), and which backends
+    the host could run at all.
+    """
+    parts: List[str] = []
+    if environment.get("cpu_count") is not None:
+        parts.append(f"cpus={environment['cpu_count']}")
+    if environment.get("workers") is not None:
+        parts.append(f"workers={environment['workers']}")
+    if environment.get("backend") is not None:
+        parts.append(f"backend={environment['backend']}")
+    if environment.get("backend_default") is not None:
+        parts.append(f"default={environment['backend_default']}")
+    if environment.get("backends_available"):
+        parts.append(
+            "available=" + ",".join(environment["backends_available"])
+        )
+    for key in ("python", "numpy", "scipy"):
+        if environment.get(key) is not None:
+            parts.append(f"{key}={environment[key]}")
+    return "environment: " + (" ".join(parts) if parts else "(unrecorded)")
 
 
 def render_bars(

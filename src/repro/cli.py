@@ -121,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         "batched)",
     )
     p_compute.add_argument(
+        "--backend",
+        choices=("auto", "serial", "threads", "processes"),
+        default=None,
+        help="execution engine for batched source/root fan-out: "
+        "worker threads over the shared in-process CSR, the "
+        "shared-memory process pool, an inline serial loop, or "
+        "'auto' (best for this host, honours REPRO_PARALLEL_BACKEND); "
+        "implies --batch-size auto unless one is given",
+    )
+    p_compute.add_argument(
         "--parallel-batched",
         action="store_true",
         help="run source batches on the persistent shared-memory "
@@ -277,6 +287,23 @@ def _cmd_compute(args) -> int:
     graph = load_graph(args.graph, directed=args.directed)
     fn = get_algorithm(args.algorithm)
     batched_algos = ("APGRE", "serial", "preds", "batched")
+    if args.backend is not None:
+        if args.parallel_batched:
+            print(
+                "repro-bc: error: --backend and --parallel-batched are "
+                "mutually exclusive (--parallel-batched is the legacy "
+                "spelling of --backend processes)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.algorithm not in batched_algos:
+            print(
+                f"repro-bc: error: --backend is not supported by "
+                f"{args.algorithm!r} (use APGRE, serial, preds or "
+                f"batched)",
+                file=sys.stderr,
+            )
+            return 2
     if args.parallel_batched:
         if args.workers <= 1:
             print(
@@ -293,21 +320,29 @@ def _cmd_compute(args) -> int:
             )
             return 2
     kwargs = {}
-    if args.algorithm == "APGRE" and args.workers > 1:
+    if args.algorithm == "APGRE" and (
+        args.workers > 1 or args.backend is not None
+    ):
         kwargs = {
-            "parallel": "processes",
             "workers": args.workers,
             "timeout": args.timeout,
             "max_retries": args.max_retries,
             "fallback": not args.no_fallback,
         }
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
+            kwargs["steal"] = args.steal
+        else:
+            kwargs["parallel"] = "processes"
         if args.parallel_batched:
             kwargs["parallel_batched"] = True
             kwargs["steal"] = args.steal
     elif args.algorithm in ("serial", "preds", "batched") and (
-        args.workers > 1
+        args.workers > 1 or args.backend is not None
     ):
         kwargs = {"workers": args.workers, "steal": args.steal}
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
         if args.parallel_batched and args.batch_size is None:
             kwargs["batch_size"] = "auto"
     if args.batch_size is not None:

@@ -199,7 +199,9 @@ def apgre_bc_detailed(
             graph, bc, partition, config, store, counter, stats
         )
         timings.rest_bc = time.perf_counter() - t0
-    elif config.parallel == "serial" or config.workers <= 1:
+    elif (
+        config.parallel == "serial" and config.backend is None
+    ) or config.workers <= 1:
         _serial_pass(bc, subgraphs, config, counter, timings)
     else:
         t0 = time.perf_counter()
@@ -215,7 +217,16 @@ def apgre_bc_detailed(
             "batch_size": config.batch_size,
             "compress": config.compress,
         }
-        if config.parallel == "processes" and config.parallel_batched:
+        if config.backend is not None:
+            from repro.parallel.backends import resolve_backend
+
+            health = RunHealth()
+            _batched_pool_pass(
+                graph, bc, tasks, subgraphs, config, counter, timings,
+                health, contributions=resolve_backend(config.backend)
+                .contributions,
+            )
+        elif config.parallel == "processes" and config.parallel_batched:
             health = RunHealth()
             _batched_pool_pass(
                 graph, bc, tasks, subgraphs, config, counter, timings,
@@ -329,19 +340,28 @@ def _batched_pool_pass(
     counter,
     timings,
     health: RunHealth,
+    contributions=None,
 ) -> None:
-    """Process-parallel BC phase on the persistent shared-memory pool.
+    """Batched-engine BC phase behind the degradation ladder.
 
-    Same degradation ladder as :func:`_supervised_pass`, but the
-    workers commit their batched root-slice deltas straight into
-    shared score rows (:mod:`repro.parallel.batched_pool`) instead of
-    pickling an ``(n,)`` vector per task — and, unlike the pickling
-    pool, the per-task edge tallies come back exactly, so
-    ``stats.edges_traversed`` aggregates across workers just as a
-    serial run would count it.
+    Same degradation ladder as :func:`_supervised_pass`, but root-slice
+    tasks run on a batched execution engine — the persistent
+    shared-memory process pool by default, or whatever engine
+    ``contributions`` names (the ``backend=`` dispatch passes
+    :attr:`~repro.parallel.backends.ExecutionBackend.contributions`
+    here, e.g. the in-process worker threads of
+    :mod:`repro.parallel.threaded`).  Either way workers accumulate
+    batched deltas into score rows instead of pickling an ``(n,)``
+    vector per task — and, unlike the pickling pool, the per-task edge
+    tallies come back exactly, so ``stats.edges_traversed`` aggregates
+    across workers just as a serial run would count it.
     """
     from repro.core.batched_subgraph import bc_subgraph_batched
-    from repro.parallel.batched_pool import _pooled_contributions
+
+    if contributions is None:
+        from repro.parallel.batched_pool import _pooled_contributions
+
+        contributions = _pooled_contributions
 
     supervisor = SupervisorConfig(
         timeout=config.timeout,
@@ -373,7 +393,7 @@ def _batched_pool_pass(
         for idx, lo, hi in tasks
     ]
     try:
-        total, edge_total, _ = _pooled_contributions(
+        total, edge_total, _ = contributions(
             compute,
             weights,
             n=graph.n,
@@ -415,12 +435,14 @@ def _cached_pass(
     incoming α/β/γ summaries — :mod:`repro.cache.fingerprint`).  Hits
     merge their stored local vectors and report their stored tallies
     as ``stats.edges_replayed``; misses are recomputed — fanned out
-    over the shared-memory batched pool for ``parallel="processes"``,
-    a thread pool for ``"threads"``, serially otherwise — and their
-    freshly computed vectors and *exact* tallies are stored.  Store
-    writes happen only in the parent, after the pool's poisoned-row
-    recovery, so a worker killed mid-recompute can never commit a
-    poisoned cache entry.
+    over the execution backend named by ``config.backend`` when one is
+    set, else the shared-memory batched pool for
+    ``parallel="processes"``, a thread pool for ``"threads"``,
+    serially otherwise — and their freshly computed vectors and
+    *exact* tallies are stored.  Store writes happen only in the
+    parent, after the pool's poisoned-row recovery (or the thread
+    run's tree reduction), so a worker killed mid-recompute can never
+    commit a poisoned cache entry.
     """
     from repro.cache.fingerprint import subgraph_key
 
@@ -470,18 +492,27 @@ def _ladder_recompute(
     Shared by the cached and journaled passes: each completed
     sub-graph's full local vector and exact edge tally reach the
     ``commit(index, local, edges)`` callback *parent-side only* (for
-    the pool path, after the poisoned-slot recovery), which persists
-    them to the store and/or the run journal.  Rungs mirror
-    :func:`_supervised_pass`: pool → serial → Brandes (the Brandes
-    rung wipes the replay/resume bookkeeping, since the scores no
-    longer decompose per sub-graph).
+    the engine paths, after the pool's poisoned-slot recovery or the
+    thread run's tree reduction), which persists them to the store
+    and/or the run journal — a worker thread never touches the store
+    or the journal.  Rungs mirror :func:`_supervised_pass`: engine →
+    serial → Brandes (the Brandes rung wipes the replay/resume
+    bookkeeping, since the scores no longer decompose per sub-graph).
     """
-    if config.parallel == "processes" and config.workers > 1:
+    contributions = None
+    if config.backend is not None and config.workers > 1:
+        from repro.parallel.backends import resolve_backend
+
+        contributions = resolve_backend(config.backend).contributions
+    if contributions is not None or (
+        config.parallel == "processes" and config.workers > 1
+    ):
         if health is None:
             health = RunHealth()
         try:
             _pool_recompute(
-                bc, subgraphs, misses, config, counter, health, commit
+                bc, subgraphs, misses, config, counter, health, commit,
+                contributions=contributions,
             )
             return health
         except ExecutionError:
@@ -569,20 +600,26 @@ def _pool_recompute(
     counter,
     health: RunHealth,
     commit,
+    contributions=None,
 ) -> None:
-    """Fan cache misses out over the shared-memory batched pool.
+    """Fan cache misses out over a batched execution engine.
 
     Misses are chunked into root slices exactly like a cache-less
     ``parallel="processes"`` run (LPT order, ``workers``/``steal``
-    compose unchanged), but the pool accumulates into a *concatenated
-    local coordinate space* — each miss sub-graph owns a contiguous
-    slice of the shared score rows — so the parent gets every miss's
-    complete local vector back and can commit it, which the global-sum
-    layout of :func:`_batched_pool_pass` cannot provide.  Per-batch
-    edge tallies come back exactly and are summed per sub-graph, so
-    committed entries replay the same tally a serial run would count.
+    compose unchanged), but the engine — the shared-memory pool by
+    default, or the one ``contributions`` names (the ``backend=``
+    dispatch) — accumulates into a *concatenated local coordinate
+    space*: each miss sub-graph owns a contiguous slice of the score
+    rows, so the parent gets every miss's complete local vector back
+    and can commit it, which the global-sum layout of
+    :func:`_batched_pool_pass` cannot provide.  Per-batch edge tallies
+    come back exactly and are summed per sub-graph, so committed
+    entries replay the same tally a serial run would count.
     """
-    from repro.parallel.batched_pool import _pooled_contributions
+    if contributions is None:
+        from repro.parallel.batched_pool import _pooled_contributions
+
+        contributions = _pooled_contributions
 
     miss_sgs = [subgraphs[i] for i in misses]
     offsets = np.zeros(len(miss_sgs) + 1, dtype=np.int64)
@@ -621,7 +658,7 @@ def _pool_recompute(
         max_retries=config.max_retries,
         fallback=config.fallback,
     )
-    concat, edge_total, batch_edges = _pooled_contributions(
+    concat, edge_total, batch_edges = contributions(
         compute,
         weights,
         n=int(offsets[-1]),
@@ -765,6 +802,7 @@ def apgre_bc(
     *,
     threshold: Optional[int] = None,
     parallel: str = "serial",
+    backend: Optional[str] = None,
     workers: int = 1,
     eliminate_pendants: bool = True,
     alpha_beta_method: str = "auto",
@@ -785,10 +823,14 @@ def apgre_bc(
     Equivalent to ``apgre_bc_detailed(graph, APGREConfig(...)).scores``;
     see :class:`repro.core.config.APGREConfig` for the options
     (``timeout``/``max_retries``/``fallback`` set the supervision
-    policy of ``parallel="processes"`` runs; ``batch_size`` routes
-    each sub-graph's roots through the multi-source batched kernel;
-    ``parallel_batched`` moves the process pool onto the persistent
-    shared-memory path with ``steal`` toggling work stealing;
+    policy of the parallel engines; ``batch_size`` routes each
+    sub-graph's roots through the multi-source batched kernel;
+    ``backend`` picks the batched execution engine —
+    ``"threads"``/``"processes"``/``"serial"``/``"auto"``, see
+    :mod:`repro.parallel.backends` and docs/PERFORMANCE.md;
+    ``parallel_batched`` is the legacy spelling of
+    ``backend="processes"`` on the persistent shared-memory pool,
+    with ``steal`` toggling work stealing;
     ``cache``/``cache_dir`` enable the decomposition-aware
     contribution cache — see :mod:`repro.cache` and docs/CACHING.md;
     ``compress`` runs each sub-graph through the structural
@@ -799,6 +841,7 @@ def apgre_bc(
     """
     kwargs = dict(
         parallel=parallel,
+        backend=backend,
         workers=workers,
         eliminate_pendants=eliminate_pendants,
         alpha_beta_method=alpha_beta_method,

@@ -12,6 +12,7 @@ __all__ = ["APGREConfig"]
 
 _PARALLEL_MODES = ("serial", "processes", "threads")
 _AB_METHODS = ("auto", "bfs", "tree")
+_BACKENDS = ("auto", "serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,21 @@ class APGREConfig:
         ``"serial"``, ``"processes"`` (coarse-grained sub-graph
         parallelism over a fork pool — the paper's ``cilk_for`` level)
         or ``"threads"`` (same tasks on a thread pool; GIL-bound, kept
-        for the scaling study).
+        for the scaling study).  Superseded for batched execution by
+        ``backend``, which dispatches root batches through the
+        execution-backend registry.
+    backend:
+        Execution engine for the batched BC phase
+        (:mod:`repro.parallel.backends`): ``"threads"`` (worker
+        threads over the shared in-process CSR — true multicore via
+        the GIL-releasing SpMM kernel, zero fork/pickle overhead),
+        ``"processes"`` (the persistent shared-memory fork pool),
+        ``"serial"`` (inline chunk loop), or ``"auto"`` (best engine
+        for this host, honouring ``REPRO_PARALLEL_BACKEND``).  ``None``
+        (default) keeps the legacy ``parallel``/``parallel_batched``
+        dispatch.  Setting a backend implies ``batch_size="auto"``
+        when no batch size is set; the engine fans each sub-graph's
+        root batches out over ``workers``.
     workers:
         Worker count for the parallel modes.
     timeout:
@@ -117,6 +132,7 @@ class APGREConfig:
     alpha_beta_method: str = "auto"
     eliminate_pendants: bool = True
     parallel: str = "serial"
+    backend: Optional[str] = None
     workers: int = 1
     timeout: Optional[float] = None
     max_retries: int = 2
@@ -136,6 +152,22 @@ class APGREConfig:
                 f"parallel must be one of {_PARALLEL_MODES}, "
                 f"got {self.parallel!r}"
             )
+        if self.backend is not None:
+            if self.backend not in _BACKENDS:
+                raise AlgorithmError(
+                    f"backend must be one of {_BACKENDS} or None, "
+                    f"got {self.backend!r}"
+                )
+            if self.parallel_batched:
+                raise AlgorithmError(
+                    "backend and parallel_batched are mutually "
+                    "exclusive; parallel_batched is the legacy "
+                    "spelling of backend='processes'"
+                )
+            if self.batch_size is None:
+                # the engines move batched deltas, so a batch width is
+                # needed; auto is the only safe unattended default
+                object.__setattr__(self, "batch_size", "auto")
         if self.parallel_batched:
             if self.parallel != "processes":
                 raise AlgorithmError(

@@ -56,6 +56,7 @@ except ImportError:  # pragma: no cover - scipy absent in minimal envs
 __all__ = [
     "DEFAULT_MAX_BATCH",
     "BatchedBFSResult",
+    "BatchWorkspace",
     "available_memory_bytes",
     "auto_batch_size",
     "resolve_batch_size",
@@ -80,6 +81,11 @@ DEFAULT_MAX_BATCH = 128
 _BYTES_PER_ROW_VERTEX = 44
 _BYTES_PER_ROW_ARC = 20
 
+# CSR footprint model for the shared-address-space correction: int64
+# indptr + indices, counted for both directions (out + in).
+_CSR_BYTES_PER_VERTEX = 16
+_CSR_BYTES_PER_ARC = 16
+
 
 def available_memory_bytes() -> int:
     """Best-effort available physical memory (fallback: 1 GiB)."""
@@ -103,6 +109,7 @@ def auto_batch_size(
     available_bytes: Optional[int] = None,
     max_batch: int = DEFAULT_MAX_BATCH,
     workers: int = 1,
+    shared_csr: bool = False,
 ) -> int:
     """Pick a batch size whose ``(B, n)`` buffers stay RAM-safe.
 
@@ -112,32 +119,53 @@ def auto_batch_size(
     ``workers`` divides the budget: in a parallel run every concurrent
     worker materialises its own ``(B, n)`` working set, so sizing each
     against the full budget would oversubscribe RAM ``workers``-fold.
+
+    ``shared_csr`` selects the threaded-backend accounting: worker
+    threads share one address space, so the graph's CSR structure
+    exists *once* for the whole pool rather than once per worker.  The
+    CSR footprint (``~16·n + 16·m`` bytes) is then charged once
+    against the pooled budget and only the per-worker workspace
+    remainder divides by ``workers`` — the process model instead
+    leaves per-worker duplication to the quartered headroom, which on
+    arc-heavy graphs misprices what each thread may actually use.
     """
     if n <= 0:
         return 1
     if available_bytes is None:
         available_bytes = available_memory_bytes()
-    budget = min(available_bytes // 4, 2 << 30) // max(int(workers), 1)
+    budget = min(available_bytes // 4, 2 << 30)
+    if shared_csr:
+        csr = _CSR_BYTES_PER_VERTEX * n + _CSR_BYTES_PER_ARC * max(m, 1)
+        budget = max(budget - csr, 0)
+    budget //= max(int(workers), 1)
     per_row = _BYTES_PER_ROW_VERTEX * n + _BYTES_PER_ROW_ARC * max(m, 1)
     return int(max(1, min(budget // per_row, max_batch)))
 
 
 def resolve_batch_size(
-    batch_size: Union[int, str, None], n: int, m: int, *, workers: int = 1
+    batch_size: Union[int, str, None],
+    n: int,
+    m: int,
+    *,
+    workers: int = 1,
+    shared_csr: bool = False,
 ) -> Optional[int]:
     """Normalise a ``batch_size`` option to an int (or ``None``).
 
     ``None`` means "per-source path" and passes through; ``"auto"``
-    resolves via :func:`auto_batch_size` for the given graph size and
-    the number of concurrent ``workers`` sharing the RAM budget; a
-    positive int is validated and returned as-is (an explicit size is
-    the caller's statement that it fits).
+    resolves via :func:`auto_batch_size` for the given graph size, the
+    number of concurrent ``workers`` sharing the RAM budget, and the
+    backend's address-space model (``shared_csr`` — see
+    :func:`auto_batch_size`); a positive int is validated and returned
+    as-is (an explicit size is the caller's statement that it fits).
     """
     if batch_size is None:
         return None
     if isinstance(batch_size, str):
         if batch_size == "auto":
-            return auto_batch_size(n, m, workers=workers)
+            return auto_batch_size(
+                n, m, workers=workers, shared_csr=shared_csr
+            )
         raise AlgorithmError(
             f"batch_size must be 'auto', a positive int or None, "
             f"got {batch_size!r}"
@@ -146,6 +174,57 @@ def resolve_batch_size(
     if b < 1:
         raise AlgorithmError(f"batch_size must be >= 1, got {batch_size}")
     return b
+
+
+class BatchWorkspace:
+    """Reusable flattened ``B·n`` state buffers for the batched kernels.
+
+    Both kernels allocate three batch-sized state arrays (``dist``,
+    ``sigma``, ``delta``) per chunk; across the many chunks of a full
+    BC run that is measurable allocator pressure at large ``B``.
+    Passing a workspace makes successive chunks reuse one allocation,
+    grown on demand and never shrunk.  The kernels re-initialise the
+    buffers exactly as freshly allocated ones (``fill(-1)`` /
+    ``fill(0)``), so results — including the arcs kernel's per-row bit
+    identity with the serial path — are unchanged.
+
+    A workspace is single-owner mutable state: concurrent batches need
+    one workspace each.  The threaded backend keeps *two* per worker
+    thread and alternates them, so the fold of batch *i*'s result can
+    overlap the compute of batch *i+1* without the second batch
+    clobbering buffers the first may still alias.
+    """
+
+    __slots__ = ("_dist", "_sigma", "_delta")
+
+    def __init__(self) -> None:
+        self._dist = np.empty(0, dtype=np.int32)
+        self._sigma = np.empty(0, dtype=SCORE_DTYPE)
+        self._delta = np.empty(0, dtype=SCORE_DTYPE)
+
+    @property
+    def capacity(self) -> int:
+        """Current buffer capacity in elements (``B·n`` units)."""
+        return self._dist.size
+
+    def arrays(
+        self, b: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Uninitialised ``(dist, sigma, delta)`` views of size ``b·n``.
+
+        The caller owns initialisation; contents are whatever the
+        previous batch left behind.
+        """
+        need = b * n
+        if self._dist.size < need:
+            self._dist = np.empty(need, dtype=np.int32)
+            self._sigma = np.empty(need, dtype=SCORE_DTYPE)
+            self._delta = np.empty(need, dtype=SCORE_DTYPE)
+        return (
+            self._dist[:need],
+            self._sigma[:need],
+            self._delta[:need],
+        )
 
 
 @dataclass
@@ -197,6 +276,7 @@ def bfs_sigma_batched(
     sources,
     *,
     keep_level_arcs: bool = False,
+    workspace: Optional[BatchWorkspace] = None,
 ) -> BatchedBFSResult:
     """Forward BFS with σ counting for a whole batch of sources.
 
@@ -205,6 +285,11 @@ def bfs_sigma_batched(
     flattened ``(B, n)`` index space, amortising the per-level kernel
     launches across the batch.  Rows are fully independent: a row whose
     BFS has terminated simply contributes no frontier pairs.
+
+    With ``workspace`` the ``dist``/``sigma`` matrices are views into
+    the workspace's reusable buffers (re-initialised here exactly as
+    fresh allocations would be); the returned result then only stays
+    valid until the workspace's next use.
     """
     n = graph.n
     srcs = np.asarray(sources, dtype=np.int64).ravel()
@@ -214,8 +299,15 @@ def bfs_sigma_batched(
     # flattened (row, vertex) indices live in [0, b*n); the narrow
     # dtype keeps the per-level sort/gather traffic at half width
     fdtype = np.int32 if b * n <= np.iinfo(np.int32).max else np.int64
-    dist = np.full((b, n), -1, dtype=np.int32)
-    sigma = np.zeros((b, n), dtype=SCORE_DTYPE)
+    if workspace is None:
+        dist = np.full((b, n), -1, dtype=np.int32)
+        sigma = np.zeros((b, n), dtype=SCORE_DTYPE)
+    else:
+        dist_buf, sigma_buf, _ = workspace.arrays(b, n)
+        dist_buf.fill(-1)
+        sigma_buf.fill(0.0)
+        dist = dist_buf.reshape(b, n)
+        sigma = sigma_buf.reshape(b, n)
     dist_flat = dist.reshape(-1)
     sigma_flat = sigma.reshape(-1)
     rows0 = np.arange(b, dtype=np.int64)
@@ -317,6 +409,7 @@ def accumulate_dependencies_batched(
     res: BatchedBFSResult,
     *,
     counter=None,
+    workspace: Optional[BatchWorkspace] = None,
 ) -> np.ndarray:
     """Batched backward phase: δ_s(v) for every source in the batch.
 
@@ -325,12 +418,21 @@ def accumulate_dependencies_batched(
     the whole batch.  Returns a ``(B, n)`` dependency matrix whose row
     ``i`` equals the serial ``accumulate_dependencies(..., mode="arcs")``
     for ``sources[i]``; the examined-edge tally matches it too.
+
+    ``workspace`` reuses the workspace's delta buffer (zeroed here);
+    pass the same workspace the forward phase used — the delta buffer
+    is distinct from its ``dist``/``sigma`` buffers.
     """
     if res.level_arcs is None:
         raise AlgorithmError(
             "batched dependency accumulation needs keep_level_arcs=True"
         )
-    delta_flat = np.zeros(res.dist.size, dtype=SCORE_DTYPE)
+    if workspace is None:
+        delta_flat = np.zeros(res.dist.size, dtype=SCORE_DTYPE)
+    else:
+        b, n = res.dist.shape
+        delta_flat = workspace.arrays(b, n)[2]
+        delta_flat.fill(0.0)
     sigma_flat = res.sigma.reshape(-1)
     for flat_src, flat_dst in reversed(res.level_arcs):
         if counter is not None:
@@ -409,6 +511,7 @@ def spmm_contributions(
     *,
     counter=None,
     operands: Optional["_SpmmOperands"] = None,
+    workspace: Optional[BatchWorkspace] = None,
 ) -> np.ndarray:
     """Summed BC contributions of one batch via sparse matmuls.
 
@@ -449,8 +552,14 @@ def spmm_contributions(
     idx = ops.idx
     counted = counter is not None
     fdtype = np.int32 if b * n <= _I32_MAX else np.int64
-    dist = np.full(b * n, -1, dtype=np.int32)
-    sigma = np.zeros(b * n, dtype=SCORE_DTYPE)
+    if workspace is None:
+        dist = np.full(b * n, -1, dtype=np.int32)
+        sigma = np.zeros(b * n, dtype=SCORE_DTYPE)
+        delta_buf: Optional[np.ndarray] = None
+    else:
+        dist, sigma, delta_buf = workspace.arrays(b, n)
+        dist.fill(-1)
+        sigma.fill(0.0)
     rows = np.arange(b, dtype=np.int64)
     # flattened row bases pre-multiplied once: candidate indices then
     # need a single add per arc instead of a multiply-add
@@ -508,7 +617,11 @@ def spmm_contributions(
         counter.add(edges)
         counter.add(dag_arcs)
     # backward: one (B, n) · Aᵀ product per level, deepest first
-    delta = np.zeros(b * n, dtype=SCORE_DTYPE)
+    if delta_buf is None:
+        delta = np.zeros(b * n, dtype=SCORE_DTYPE)
+    else:
+        delta_buf.fill(0.0)
+        delta = delta_buf
     bp, bj, bx = ops.bwd
     for lvl in range(len(levels) - 1, 0, -1):
         flat, cols, fp, vals = levels[lvl]
@@ -540,6 +653,7 @@ def batched_contributions(
     *,
     counter=None,
     kernel: Optional[str] = None,
+    workspace: Optional[BatchWorkspace] = None,
 ) -> np.ndarray:
     """Summed BC contributions of one batch of sources.
 
@@ -550,19 +664,26 @@ def batched_contributions(
     ``kernel`` picks the implementation: ``"spmm"`` (scipy sparse
     matmul levels), ``"arcs"`` (pure-numpy flattened scatters, per-row
     bit-identical to serial), or ``None`` to use SpMM whenever scipy
-    is available.  Both produce the serial examined-edge tally.
+    is available.  Both produce the serial examined-edge tally.  The
+    returned ``(n,)`` sum never aliases ``workspace``.
     """
     if kernel is None:
         kernel = "spmm" if spmm_available() else "arcs"
     if kernel == "spmm":
-        return spmm_contributions(graph, sources, counter=counter)
+        return spmm_contributions(
+            graph, sources, counter=counter, workspace=workspace
+        )
     if kernel != "arcs":
         raise AlgorithmError(f"unknown batched kernel {kernel!r}")
     srcs = np.asarray(sources, dtype=np.int64).ravel()
-    res = bfs_sigma_batched(graph, srcs, keep_level_arcs=True)
+    res = bfs_sigma_batched(
+        graph, srcs, keep_level_arcs=True, workspace=workspace
+    )
     if counter is not None:
         counter.add(res.edges_traversed)
-    delta = accumulate_dependencies_batched(res, counter=counter)
+    delta = accumulate_dependencies_batched(
+        res, counter=counter, workspace=workspace
+    )
     delta[np.arange(srcs.size), srcs] = 0.0
     return delta.sum(axis=0)
 
@@ -574,12 +695,14 @@ def batched_bc_scores(
     batch: int,
     counter=None,
     kernel: Optional[str] = None,
+    workspace: Optional[BatchWorkspace] = None,
 ) -> np.ndarray:
     """BC contribution sum over ``sources``, ``batch`` roots at a time.
 
     The chunk loop behind ``run_per_source(..., batch_size=...)``:
-    shares one set of SpMM operands (A, Aᵀ, degree arrays) across all
-    chunks so per-chunk setup is amortised over the whole run.
+    shares one set of SpMM operands (A, Aᵀ, degree arrays) and one
+    reusable :class:`BatchWorkspace` across all chunks so per-chunk
+    setup and state allocation are amortised over the whole run.
     """
     src_arr = np.asarray(list(sources), dtype=np.int64).ravel()
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
@@ -587,6 +710,8 @@ def batched_bc_scores(
         return bc
     if kernel is None:
         kernel = "spmm" if spmm_available() else "arcs"
+    if workspace is None:
+        workspace = BatchWorkspace()
     if kernel == "spmm":
         ops = _spmm_operands_for(graph, min(batch, src_arr.size))
         for lo in range(0, src_arr.size, batch):
@@ -595,10 +720,15 @@ def batched_bc_scores(
                 src_arr[lo : lo + batch],
                 counter=counter,
                 operands=ops,
+                workspace=workspace,
             )
         return bc
     for lo in range(0, src_arr.size, batch):
         bc += batched_contributions(
-            graph, src_arr[lo : lo + batch], counter=counter, kernel=kernel
+            graph,
+            src_arr[lo : lo + batch],
+            counter=counter,
+            kernel=kernel,
+            workspace=workspace,
         )
     return bc

@@ -17,8 +17,18 @@ fault-injection harness (:mod:`repro.parallel.faults`); see
 docs/ROBUSTNESS.md.
 """
 
+from repro.parallel.backends import (
+    BACKEND_ENV_VAR,
+    ExecutionBackend,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.parallel.batched_pool import batched_pool_bc_scores, tree_reduce
 from repro.parallel.pool import fork_map, map_sources_bc, thread_map
+from repro.parallel.threaded import threaded_bc_scores, threaded_contributions
 from repro.parallel.scheduler import assign_lpt, lpt_order
 from repro.parallel.sharedmem import SharedArray
 from repro.parallel.supervisor import (
@@ -37,6 +47,15 @@ from repro.parallel.faults import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "threaded_bc_scores",
+    "threaded_contributions",
     "batched_pool_bc_scores",
     "tree_reduce",
     "fork_map",

@@ -1,0 +1,232 @@
+"""Execution-backend registry: ``serial | threads | processes``.
+
+The batched BC kernel can run its source batches on three engines —
+inline (serial), on worker threads over the shared in-process CSR
+(:mod:`repro.parallel.threaded`), or on the fork-based shared-memory
+process pool (:mod:`repro.parallel.batched_pool`).  This module puts
+them behind one dispatcher so every composing layer (``run_per_source``,
+the APGRE driver, the cache/journal passes, the CLI and the benches)
+selects an engine by *name* instead of hard-coding a pool:
+
+* each backend carries a capability **probe** (evaluated lazily, so a
+  capability appearing or vanishing — scipy missing, a platform
+  without ``fork`` — is always reflected);
+* :func:`default_backend_name` picks the best engine for this host:
+  ``threads`` when scipy's GIL-releasing SpMM kernel is importable
+  (true multicore with zero fork/pickle/commit overhead), else
+  ``processes`` where ``fork`` exists, else ``serial``;
+* the ``REPRO_PARALLEL_BACKEND`` environment variable overrides the
+  default for any run that did not pin a backend explicitly;
+* requesting an unavailable backend degrades gracefully to the best
+  available one with a visible :class:`RuntimeWarning`; an *unknown*
+  name is a hard :class:`~repro.errors.AlgorithmError`.
+
+Every backend exposes the same two call surfaces:
+
+``contributions(compute, weights, *, n, workers, steal, config, health)``
+    The engine contract shared with the process pool's
+    ``_pooled_contributions``: fold ``compute(batch_id) -> (verts,
+    delta, edges)`` over all batches, returning ``(scores,
+    edge_total, batch_edges)`` with exact per-batch edge tallies.
+
+``scores(graph, sources, *, batch, workers, steal, kernel, counter,
+config, health)``
+    The graph-level composition used by ``run_per_source``.
+
+New engines (the multi-GPU route the ROADMAP names) register through
+:func:`register_backend` without touching any dispatch site.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import AlgorithmError
+from repro.graph.batched import spmm_available
+from repro.parallel import pool as _pool
+from repro.parallel.batched_pool import (
+    _pooled_contributions,
+    batched_pool_bc_scores,
+)
+from repro.parallel.threaded import (
+    threaded_bc_scores,
+    threaded_contributions,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "register_backend",
+    "backend_names",
+    "get_backend",
+    "default_backend_name",
+    "resolve_backend",
+]
+
+#: Environment variable overriding the default backend selection.
+BACKEND_ENV_VAR = "REPRO_PARALLEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """One registered execution engine.
+
+    ``probe`` is re-evaluated on every availability check (cheap —
+    the underlying capability flags are import-time constants) so
+    tests can monkeypatch capabilities and the registry reflects it.
+    ``shared_csr`` feeds the ``auto_batch_size`` RAM model: engines
+    whose workers share one address space charge the CSR once instead
+    of per worker.
+    """
+
+    name: str
+    probe: Callable[[], bool]
+    unavailable_reason: str
+    contributions: Callable
+    scores: Callable
+    shared_csr: bool = False
+
+    def available(self) -> bool:
+        return bool(self.probe())
+
+
+def _serial_contributions(
+    compute,
+    weights,
+    *,
+    n: int,
+    workers: int = 1,
+    steal: bool = True,
+    config=None,
+    health=None,
+):
+    # the threaded engine's inline rung IS the serial engine: the
+    # bit-identical chunk loop with full health bookkeeping
+    return threaded_contributions(
+        compute, weights, n=n, workers=1, config=config, health=health
+    )
+
+
+def _serial_scores(
+    graph,
+    sources,
+    *,
+    batch: int,
+    workers: int = 1,
+    steal: bool = True,
+    kernel: Optional[str] = None,
+    counter=None,
+    config=None,
+    health=None,
+):
+    return threaded_bc_scores(
+        graph, sources, batch=batch, workers=1, kernel=kernel,
+        counter=counter, config=config, health=health,
+    )
+
+
+_REGISTRY: Dict[str, ExecutionBackend] = {}
+
+#: Preference order for default selection and graceful degradation.
+_PREFERENCE: Tuple[str, ...] = ("threads", "processes", "serial")
+
+
+def register_backend(backend: ExecutionBackend) -> None:
+    """Add (or replace) an engine in the registry."""
+    _REGISTRY[backend.name] = backend
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The registered backend called ``name`` (no availability check)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown parallel backend {name!r}; registered: "
+            f"{', '.join(_REGISTRY) or '(none)'}"
+        ) from None
+
+
+register_backend(
+    ExecutionBackend(
+        name="serial",
+        probe=lambda: True,
+        unavailable_reason="",
+        contributions=_serial_contributions,
+        scores=_serial_scores,
+        shared_csr=True,
+    )
+)
+register_backend(
+    ExecutionBackend(
+        name="threads",
+        probe=spmm_available,
+        unavailable_reason=(
+            "scipy's GIL-releasing SpMM kernel is not importable; "
+            "GIL-bound threads cannot scale the pure-numpy kernel"
+        ),
+        contributions=threaded_contributions,
+        scores=threaded_bc_scores,
+        shared_csr=True,
+    )
+)
+register_backend(
+    ExecutionBackend(
+        name="processes",
+        probe=_pool._supports_fork,
+        unavailable_reason="this platform does not support fork",
+        contributions=_pooled_contributions,
+        scores=batched_pool_bc_scores,
+    )
+)
+
+
+def default_backend_name() -> str:
+    """Best engine for this host, by capability probe.
+
+    ``threads`` when the SpMM kernel can release the GIL, else
+    ``processes`` where ``fork`` exists, else ``serial``.
+    """
+    for name in _PREFERENCE:
+        backend = _REGISTRY.get(name)
+        if backend is not None and backend.available():
+            return name
+    return "serial"
+
+
+def resolve_backend(name: Optional[str] = None) -> ExecutionBackend:
+    """Resolve a backend request to a usable engine.
+
+    ``None`` defers to the ``REPRO_PARALLEL_BACKEND`` environment
+    variable and then to :func:`default_backend_name`; the explicit
+    name ``"auto"`` skips the environment and takes the host default.
+    Unknown names (from either source) raise
+    :class:`~repro.errors.AlgorithmError`.  A known but unavailable
+    backend falls back to the best available engine with a
+    :class:`RuntimeWarning` naming the reason.
+    """
+    if name is None:
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        name = env or "auto"
+    if name == "auto":
+        name = default_backend_name()
+    backend = get_backend(name)
+    if backend.available():
+        return backend
+    fallback = get_backend(default_backend_name())
+    warnings.warn(
+        f"parallel backend {name!r} is unavailable "
+        f"({backend.unavailable_reason}); falling back to "
+        f"{fallback.name!r}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return fallback

@@ -18,11 +18,16 @@ worker shim calls around the task function:
   result with :attr:`FaultSpec.replacement` (paired with the
   supervisor's ``validate`` hook to exercise the corrupt-result path).
 
-Worker faults fire only inside worker processes.  The supervisor's
-inline and serial-fallback paths never consult the plan: the serial
-rung of the degradation ladder is exactly the trusted path a real
-deployment falls back to, and a ``kill`` fault firing inline would
-take the test runner down with it.
+Worker faults fire only inside worker *executors* — worker processes
+(via :func:`fire_pre_faults`) and the threaded backend's worker
+threads (via :func:`fire_thread_faults`, where ``kill`` means "this
+worker thread dies abruptly" — raising :class:`WorkerThreadKilled`,
+which the thread supervisor treats as a worker crash — because
+``os._exit`` would take the whole process, supervisor included, down
+with it).  The supervisors' inline and serial-fallback paths never
+consult the plan: the serial rung of the degradation ladder is exactly
+the trusted path a real deployment falls back to, and a ``kill`` fault
+firing inline would take the test runner down with it.
 
 **Disk faults** are the second family: specs with a non-empty
 :attr:`FaultSpec.target` name an *operation point in the disk layer*
@@ -60,8 +65,10 @@ __all__ = [
     "active_plan",
     "injected_faults",
     "fire_pre_faults",
+    "fire_thread_faults",
     "apply_corruption",
     "fire_disk_faults",
+    "WorkerThreadKilled",
 ]
 
 #: Exit status used by ``kill`` faults — distinctive in core dumps/logs.
@@ -79,6 +86,21 @@ class InjectedFault(RuntimeError):
     Deliberately *not* a :class:`repro.errors.ReproError`: it stands in
     for an arbitrary bug inside a worker task, which the supervisor
     must survive without knowing its type.
+    """
+
+
+class WorkerThreadKilled(BaseException):
+    """A ``kill`` fault fired inside a worker *thread*.
+
+    Threads share the supervisor's address space, so the process-pool
+    semantics of ``kill`` (``os._exit``) would take the whole run down.
+    Instead :func:`fire_thread_faults` raises this, and the threaded
+    supervisor treats it exactly like a dead worker: the thread exits
+    its loop, the task is charged to the pool-failure budget, and a
+    replacement thread is spawned.  Derived from :class:`BaseException`
+    so that task bodies catching ``Exception`` cannot swallow it —
+    mirroring how no amount of ``except`` saves a process from
+    ``SIGKILL``.
     """
 
 
@@ -230,6 +252,31 @@ def fire_pre_faults(task: int, attempt: int) -> None:
         return
     if spec.kind == "kill":
         os._exit(KILL_EXIT_CODE)
+    elif spec.kind == "delay":
+        time.sleep(spec.seconds)
+    else:  # raise
+        raise InjectedFault(f"{spec.message} (task {task}, "
+                            f"attempt {attempt})")
+
+
+def fire_thread_faults(task: int, attempt: int) -> None:
+    """Thread-worker hook run before the task body.
+
+    The threaded backend's analogue of :func:`fire_pre_faults`:
+    ``delay`` and ``raise`` behave identically, while ``kill`` raises
+    :class:`WorkerThreadKilled` (the thread dies; the process — which
+    hosts the supervisor — survives, as it must).
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.find(task, attempt, kinds=("kill", "delay", "raise"))
+    if spec is None:
+        return
+    if spec.kind == "kill":
+        raise WorkerThreadKilled(
+            f"injected thread kill (task {task}, attempt {attempt})"
+        )
     elif spec.kind == "delay":
         time.sleep(spec.seconds)
     else:  # raise
