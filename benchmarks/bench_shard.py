@@ -1,0 +1,315 @@
+"""Sharding bench: splitting the dominant BCC vs computing it whole.
+
+The workload is the case sharding exists for: a ring of dense blobs
+whose closing cycle fuses everything into ONE biconnected component,
+so unsharded APGRE sees a single sub-graph holding ~100 % of the
+vertices and the whole run serialises behind it (root slicing spreads
+the sources but every slice still sweeps the full CSR).  With
+``shard=True`` the same run splits that sub-graph into balanced shards
+— each sweep touches a shard-plus-separator graph a fraction of the
+size — and the shards schedule as independent LPT units.
+
+One row per execution path (serial / threads backend) x {unsharded,
+sharded}.  Scores are asserted sharded == unsharded to 1e-9, the
+sharded run must traverse strictly fewer edges (the work reduction is
+the point, not a scheduling artifact), and every sharded row reports
+``model_speedup`` — ``sum(task_cost) / lpt_makespan`` over the
+per-shard ``task_cost(num_arcs, num_roots)`` weights — so the
+schedule's headroom is visible even on hosts too small to realise it.
+
+Honest numbers note: the acceptance bar (sharded threads >= 1.3x over
+unsharded threads at 4 workers) is a multi-core number; on a 1-CPU
+container the measured ratio mostly reflects the serial work
+reduction.  CI enforces the bar on a >= 4-core runner via
+``--min-speedup`` (see .github/workflows/ci.yml, job
+``bench-multicore``); the committed ``BENCH_shard.json`` records what
+this host measured with the environment block saying exactly what the
+host was.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.persistence import environment_provenance
+from repro.core.apgre import apgre_bc_detailed
+from repro.core.config import APGREConfig
+from repro.graph.csr import CSRGraph
+from repro.parallel.pool import available_workers
+from repro.parallel.scheduler import lpt_makespan, task_cost
+
+pytestmark = pytest.mark.benchmarks
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+SEED = 42
+REPEAT = 2  # best-of: absorbs one-off scheduler noise
+WORKERS = 4
+QUICK_WORKERS = 2
+
+#: (blobs, blob_size, p, shard_max_size)
+FULL_SHAPE = (8, 120, 0.08, 200)
+QUICK_SHAPE = (4, 48, 0.15, 64)
+
+#: Measured sharded-over-unsharded bar per path, applied only when the
+#: host has the cores to hold it (threads needs real parallelism on
+#: top of the work reduction; serial shows the reduction alone).
+SPEEDUP_TARGETS = {"threads": 1.3}
+
+
+def ring_of_blobs(blobs, blob_size, p, *, seed=SEED):
+    """A cycle of G(n, p) blobs fused into one dominant BCC.
+
+    Each blob gets an internal Hamiltonian cycle (connectivity) plus
+    random G(n, p) arcs; consecutive blobs are joined by one edge and
+    the ring closes, so every joining edge lies on the global cycle
+    and the whole graph is a single biconnected component.
+    """
+    rng = np.random.default_rng(seed)
+    n = blobs * blob_size
+    src, dst = [], []
+    for b in range(blobs):
+        lo = b * blob_size
+        verts = np.arange(lo, lo + blob_size)
+        src.append(verts)
+        dst.append(np.roll(verts, -1))
+        mask = rng.random((blob_size, blob_size)) < p
+        iu, ju = np.triu_indices(blob_size, k=2)
+        keep = mask[iu, ju]
+        src.append(lo + iu[keep])
+        dst.append(lo + ju[keep])
+        # ring edge: this blob's mid vertex to the next blob's start
+        src.append(np.array([lo + blob_size // 2]))
+        dst.append(np.array([((b + 1) % blobs) * blob_size]))
+    return CSRGraph.from_arcs(
+        n, np.concatenate(src), np.concatenate(dst), directed=False
+    )
+
+
+def _best_of(fn, repeat=REPEAT):
+    best = None
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _config(shape, *, shard, path, workers):
+    kw = {}
+    if path == "threads":
+        kw = {"backend": "threads", "workers": workers}
+    if shard:
+        kw.update(shard=True, shard_max_size=shape[3])
+    return APGREConfig(**kw)
+
+
+def _model_speedup(graph, shape, workers):
+    """Work/critical-path bound over the sharded unit weights."""
+    from repro.decompose.alphabeta import compute_alpha_beta
+    from repro.decompose.partition import graph_partition
+    from repro.shard.plan import shard_plan
+
+    part = graph_partition(graph, threshold=2)
+    compute_alpha_beta(graph, part)
+    weights = []
+    for sg in part.subgraphs:
+        plan = shard_plan(sg, max_size=shape[3])
+        if plan is None:
+            weights.append(task_cost(sg.num_arcs, sg.roots.size))
+            continue
+        for shard in range(plan.k):
+            h = plan.shard_graphs[shard]
+            n_roots = plan.home_roots(sg.roots, shard).size
+            weights.append(task_cost(h.num_arcs, n_roots))
+    return sum(weights) / lpt_makespan(weights, workers), len(weights)
+
+
+def measure(shape, workers=WORKERS, paths=("serial", "threads")):
+    """Unsharded vs sharded rows for every execution path."""
+    blobs, blob_size, p, max_size = shape
+    graph = ring_of_blobs(blobs, blob_size, p)
+    model, units = _model_speedup(graph, shape, workers)
+
+    rows = []
+    reference = None
+    for path in paths:
+        runs = {}
+        for shard in (False, True):
+            cfg = _config(shape, shard=shard, path=path, workers=workers)
+            result, seconds = _best_of(lambda: apgre_bc_detailed(graph, cfg))
+            runs[shard] = (result, seconds)
+        (plain, t_plain), (sharded, t_sharded) = runs[False], runs[True]
+        if reference is None:
+            reference = plain.scores
+        np.testing.assert_allclose(
+            sharded.scores, reference, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            plain.scores, reference, rtol=1e-9, atol=1e-9
+        )
+        # the structural claim: sharding must cut traversal work, not
+        # just reshuffle it (correction replays included in the tally)
+        assert (
+            sharded.stats.edges_traversed < plain.stats.edges_traversed
+        ), (
+            f"{path}: sharded traversal {sharded.stats.edges_traversed} "
+            f">= unsharded {plain.stats.edges_traversed}"
+        )
+        assert sharded.stats.shards_created >= 2
+        assert sharded.stats.largest_shard_ratio < 1.0
+        rows.append({
+            "path": path,
+            "n": graph.n,
+            "m": graph.num_arcs,
+            "workers": workers if path != "serial" else 1,
+            "shard_max_size": max_size,
+            "shards_created": sharded.stats.shards_created,
+            "separator_vertices": sharded.stats.separator_vertices,
+            "largest_shard_ratio": round(
+                sharded.stats.largest_shard_ratio, 4
+            ),
+            "schedule_units": units,
+            "edges_traversed_unsharded": plain.stats.edges_traversed,
+            "edges_traversed_sharded": sharded.stats.edges_traversed,
+            "edges_correction": sharded.stats.edges_correction,
+            "unsharded_seconds": round(t_plain, 4),
+            "sharded_seconds": round(t_sharded, 4),
+            "speedup": round(t_plain / t_sharded, 3),
+            "model_speedup": round(model, 3),
+        })
+    return rows
+
+
+def run_bench(quick=False, out_path=None, workers=None, paths=None):
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    if workers is None:
+        workers = QUICK_WORKERS if quick else WORKERS
+    if paths is None:
+        paths = ("serial", "threads")
+    rows = measure(shape, workers=workers, paths=paths)
+    payload = {
+        "bench": "bench_shard",
+        "seed": SEED,
+        "repeat": REPEAT,
+        "quick": quick,
+        "shape": list(shape),
+        "environment": environment_provenance(
+            workers=workers, backend=",".join(paths)
+        ),
+        "workloads": rows,
+    }
+    if out_path is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_path = RESULTS_DIR / "bench_shard.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload, Path(out_path)
+
+
+def check_rows(rows, *, quick=False, min_speedup=None):
+    """Perf guards, scaled to what this machine can actually show.
+
+    ``min_speedup`` (the CI knob) unconditionally asserts the threads
+    row reaches that measured sharded-over-unsharded ratio — the
+    caller is vouching for the cores (the workflow gates on
+    ``nproc``).  Without it, ``SPEEDUP_TARGETS`` applies only when
+    ``available_workers()`` covers the worker count.
+    """
+    cores = available_workers()
+    for row in rows:
+        target = SPEEDUP_TARGETS.get(row["path"])
+        if min_speedup is not None and row["path"] != "serial":
+            assert row["speedup"] >= min_speedup, (
+                f"{row['path']}: sharded measured {row['speedup']}x at "
+                f"{row['workers']} workers is below the enforced "
+                f"--min-speedup {min_speedup}x"
+            )
+        elif target is not None and not quick and cores >= row["workers"]:
+            assert row["speedup"] >= target, (
+                f"{row['path']}: {row['speedup']}x at {row['workers']} "
+                f"workers on {cores} cores (target >= {target}x)"
+            )
+        # the schedule must expose real fan-out even when the host
+        # cannot realise it — one giant unit means the split failed
+        assert row["model_speedup"] >= 2.0 or row["workers"] < 4, (
+            f"shard schedule shows only {row['model_speedup']}x LPT "
+            f"headroom over {row['schedule_units']} units"
+        )
+    if quick or not BASELINE_PATH.exists():
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_rows = {r["path"]: r for r in baseline["workloads"]}
+    for row in rows:
+        base = base_rows.get(row["path"])
+        if base is None:
+            continue
+        assert row["speedup"] >= 0.5 * base["speedup"], (
+            f"{row['path']}: sharded speedup {row['speedup']}x fell to "
+            f"less than half the committed baseline {base['speedup']}x"
+        )
+
+
+def test_shard_smoke(results_dir):
+    payload, _ = run_bench(quick=False)
+    print(json.dumps(payload, indent=2))
+    check_rows(payload["workloads"], quick=False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small ring, 2 workers — the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--out", default=None, help="output JSON path (default: results/)"
+    )
+    parser.add_argument(
+        "--path",
+        action="append",
+        choices=("serial", "threads"),
+        default=None,
+        help="execution path(s) to measure (repeatable; default both)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"worker count (default {QUICK_WORKERS} with --quick, "
+        f"else {WORKERS})",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="unconditionally require the threads row to reach X "
+        "measured sharded-over-unsharded speedup (the CI enforcement "
+        "knob — only pass on a host with enough cores)",
+    )
+    args = parser.parse_args(argv)
+    payload, out_path = run_bench(
+        quick=args.quick,
+        out_path=args.out,
+        workers=args.workers,
+        paths=tuple(args.path) if args.path else None,
+    )
+    print(json.dumps(payload, indent=2))
+    check_rows(
+        payload["workloads"], quick=args.quick, min_speedup=args.min_speedup
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

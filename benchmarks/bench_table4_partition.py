@@ -7,9 +7,11 @@ graph and emits the paper's sub-graph size table.
 import pytest
 
 from repro.bench.experiments import table4
+from repro.bench.runner import ExperimentResult
 from repro.bench.workloads import bench_graph_names, get_graph
 from repro.decompose.alphabeta import compute_alpha_beta
 from repro.decompose.partition import graph_partition
+from repro.metrics.stats import bcc_size_histogram
 
 from conftest import one_shot
 
@@ -36,3 +38,30 @@ def test_report_table4(benchmark, report):
         top_v, second_v = row[2], row[6]
         assert top_v >= second_v
     report(result)
+
+
+def test_report_bcc_histogram(report):
+    """Per-graph BCC size histogram — the dominant-BCC view that
+    motivates sharding (docs/SHARDING.md): one BCC alone in the top
+    power-of-two bucket is the critical path ``shard=True`` splits."""
+    rows = []
+    for name in bench_graph_names():
+        graph = get_graph(name)
+        buckets = bcc_size_histogram(graph)
+        assert buckets, name
+        top_lo, top_hi, top_count = buckets[-1]
+        rows.append([
+            name,
+            sum(c for _, _, c in buckets),
+            f"{top_lo}-{top_hi}",
+            top_count,
+            " ".join(f"{lo}:{c}" for lo, _, c in buckets),
+        ])
+    report(ExperimentResult(
+        exp_id="Table 4b",
+        title="BCC size histogram (power-of-two buckets)",
+        headers=["Graph", "#BCC", "top bucket", "#top", "lo:count"],
+        rows=rows,
+        notes="also printed per graph by `repro-bc info`; a lone BCC "
+        "in the top bucket is the sharding target (docs/SHARDING.md)",
+    ))

@@ -175,6 +175,22 @@ def build_parser() -> argparse.ArgumentParser:
         "and pendant folding shrink the sweeps; scores are identical",
     )
     p_compute.add_argument(
+        "--shard",
+        action="store_true",
+        help="split sub-graphs larger than --shard-max-size along "
+        "divide-and-conquer vertex separators into independently "
+        "scheduled shard tasks with exact boundary correction "
+        "(APGRE only); scores are identical",
+    )
+    p_compute.add_argument(
+        "--shard-max-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interior size ceiling per shard, >= 16 (implies --shard; "
+        "default 2048)",
+    )
+    p_compute.add_argument(
         "--journal-dir",
         default=None,
         metavar="DIR",
@@ -374,6 +390,19 @@ def _cmd_compute(args) -> int:
             )
             return 2
         kwargs["compress"] = True
+    shard_on = args.shard or args.shard_max_size is not None
+    if shard_on:
+        if args.algorithm != "APGRE":
+            print(
+                f"repro-bc: error: --shard/--shard-max-size need the "
+                f"decomposition and are not supported by "
+                f"{args.algorithm!r} (use APGRE)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["shard"] = True
+        if args.shard_max_size is not None:
+            kwargs["shard_max_size"] = args.shard_max_size
     journal_on = args.journal_dir is not None or args.resume
     if journal_on:
         if args.algorithm != "APGRE":
@@ -494,7 +523,7 @@ def _cmd_partition(args) -> int:
 
 def _cmd_info(args) -> int:
     from repro.io.registry import load_graph
-    from repro.metrics.stats import graph_stats
+    from repro.metrics.stats import bcc_size_histogram, graph_stats
 
     graph = load_graph(args.graph, directed=args.directed)
     stats = graph_stats(graph, name=os.path.basename(args.graph))
@@ -509,6 +538,12 @@ def _cmd_info(args) -> int:
     )
     print(f"max degree           : {stats.max_degree}")
     print(f"mean degree          : {stats.mean_degree:.2f}")
+    buckets = bcc_size_histogram(graph)
+    total = sum(count for _lo, _hi, count in buckets)
+    print(f"biconnected components: {total}")
+    for lo, hi, count in buckets:
+        label = f"{lo}" if hi == lo else f"{lo}-{hi}"
+        print(f"  BCC size {label:>13s} : {count}")
     return 0
 
 

@@ -39,7 +39,7 @@ from repro.decompose.partition import Partition, graph_partition
 from repro.errors import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.parallel.pool import get_worker_state, thread_map
-from repro.parallel.scheduler import lpt_order
+from repro.parallel.scheduler import lpt_order, task_cost
 from repro.parallel.supervisor import (
     RunHealth,
     SupervisorConfig,
@@ -49,14 +49,133 @@ from repro.types import SCORE_DTYPE
 
 __all__ = ["apgre_bc", "apgre_bc_detailed"]
 
+# journal slot encoding for shard units: sub-graph ``index`` stays the
+# slot of a whole-sub-graph unit (back-compatible with pre-shard
+# journals), shard ``s`` of sub-graph ``i`` lives at
+# ``(i + 1) * _SLOT_BASE + s`` — disjoint ranges, deterministic.
+_SLOT_BASE = 1_000_000
+
+
+def _plan_of(sg, config: APGREConfig):
+    """The sub-graph's shard plan, or ``None`` when it runs whole."""
+    if not config.shard:
+        return None
+    from repro.shard import shard_plan
+
+    return shard_plan(sg, max_size=config.shard_max_size)
+
+
+def _expand_units(subgraphs, config: APGREConfig) -> List[Tuple[int, int]]:
+    """The run's work units: ``(subgraph_index, shard)``.
+
+    ``shard == -1`` is a whole-sub-graph unit (the only kind when
+    sharding is off or the plan declined to split); a sharded
+    sub-graph contributes one unit per shard task instead, each a
+    first-class schedule/cache/journal citizen.
+    """
+    units: List[Tuple[int, int]] = []
+    for sg in subgraphs:
+        plan = _plan_of(sg, config)
+        if plan is None:
+            units.append((sg.index, -1))
+        else:
+            units.extend((sg.index, s) for s in range(plan.k))
+    return units
+
+
+def _unit_num_roots(sg, shard: int, config: APGREConfig) -> int:
+    if config.eliminate_pendants:
+        roots = sg.roots
+    else:
+        roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
+    if shard < 0:
+        return int(roots.size)
+    return int(_plan_of(sg, config).home_roots(roots, shard).size)
+
+
+def _unit_scores(
+    sg, shard: int, config: APGREConfig, counter=None, lo=None, hi=None
+) -> np.ndarray:
+    """One unit's full-length local score vector (optionally root-sliced).
+
+    Whole units route through :func:`bc_subgraph` (honouring
+    ``batch_size``/``compress``); shard units run the shard kernel —
+    never root-sliced and never compressed (the two reductions do not
+    compose; docs/SHARDING.md).
+    """
+    if shard < 0:
+        roots = None
+        if lo is not None:
+            if config.eliminate_pendants:
+                all_roots = sg.roots
+            else:
+                all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
+            roots = all_roots[lo:hi]
+        return bc_subgraph(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            counter=counter,
+            roots=roots,
+            batch_size=config.batch_size,
+            compress=config.compress,
+        )
+    from repro.shard import shard_task_scores
+
+    return shard_task_scores(
+        sg,
+        _plan_of(sg, config),
+        shard,
+        eliminate_pendants=config.eliminate_pendants,
+        counter=counter,
+    )
+
+
+def _unit_weight(sg, shard: int, config: APGREConfig) -> float:
+    """LPT weight of a unit under the edges × sqrt(roots) cost model."""
+    n_roots = _unit_num_roots(sg, shard, config)
+    if shard < 0:
+        return task_cost(sg.num_arcs, n_roots)
+    h = _plan_of(sg, config).shard_graphs[shard]
+    return task_cost(h.num_arcs, n_roots)
+
+
+def _unit_key(sg, shard: int, config: APGREConfig) -> str:
+    """Content fingerprint of one unit's local contribution vector."""
+    if shard < 0:
+        from repro.cache.fingerprint import subgraph_key
+
+        return subgraph_key(
+            sg,
+            eliminate_pendants=config.eliminate_pendants,
+            compress=config.compress,
+        )
+    from repro.shard import shard_key
+
+    return shard_key(
+        sg,
+        shard,
+        max_size=config.shard_max_size,
+        eliminate_pendants=config.eliminate_pendants,
+    )
+
 
 def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
-    """Worker body: one (sub-graph, root-slice) chunk's local scores."""
-    index, lo, hi = task
+    """Worker body: one (unit, root-slice) chunk's local scores."""
+    upos, lo, hi = task
     state = get_worker_state()
     partition: Partition = state["partition"]
     eliminate: bool = state["eliminate_pendants"]
+    index, shard = state["units"][upos]
     sg = partition.subgraphs[index]
+    if shard >= 0:
+        from repro.shard import shard_plan, shard_task_scores
+
+        # plans are memoized on the Subgraph — fork/thread workers
+        # reuse the ones the parent built for the stats pass
+        plan = shard_plan(sg, max_size=state["shard_max_size"])
+        return index, shard_task_scores(
+            sg, plan, shard, eliminate_pendants=eliminate
+        )
     if eliminate:
         all_roots = sg.roots
     else:
@@ -72,43 +191,54 @@ def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
 
 def _make_tasks(
     subgraphs,
-    eliminate_pendants: bool,
-    workers: int,
-    batch_size=None,
-) -> List[Tuple[int, int, int]]:
-    """Split sub-graphs into (index, root_lo, root_hi) chunks.
+    units: List[Tuple[int, int]],
+    config: APGREConfig,
+) -> Tuple[List[Tuple[int, int, int]], List[float]]:
+    """Split units into (unit_pos, root_lo, root_hi) chunks + weights.
 
-    Large sub-graphs are cut into ~``2 × workers`` root slices so the
-    dominant top sub-graph does not serialise the pool (the paper gets
-    the same effect from its fine-grained level); small sub-graphs stay
-    whole. Tasks are returned largest-estimated-work first (LPT).
-    With an integer ``batch_size``, chunk boundaries are aligned to a
-    multiple of it so workers run full batches (``"auto"`` resolves
-    per sub-graph inside the worker and is left unaligned).
+    Large whole-sub-graph units are cut into ~``2 × workers`` root
+    slices so the dominant top sub-graph does not serialise the pool
+    (the paper gets the same effect from its fine-grained level); small
+    units stay whole, and shard units are always one task — the shard
+    decomposition *is* the fine cut.  Tasks are returned
+    largest-estimated-work first (LPT) under the
+    :func:`~repro.parallel.scheduler.task_cost` model.  With an
+    integer ``batch_size``, chunk boundaries are aligned to a multiple
+    of it so workers run full batches (``"auto"`` resolves per
+    sub-graph inside the worker and is left unaligned).
     """
+    eliminate = config.eliminate_pendants
+    batch_size = config.batch_size
     tasks: List[Tuple[int, int, int]] = []
     weights: List[float] = []
     total_roots = sum(
-        (sg.roots.size if eliminate_pendants else sg.num_vertices)
-        for sg in subgraphs
+        _unit_num_roots(subgraphs[i], s, config) for i, s in units
     )
-    chunk_target = max(total_roots // max(2 * workers, 1), 1)
+    chunk_target = max(total_roots // max(2 * config.workers, 1), 1)
     if isinstance(batch_size, int) and batch_size > 1:
         chunk_target = max(
             (chunk_target + batch_size - 1) // batch_size * batch_size,
             batch_size,
         )
-    for idx, sg in enumerate(subgraphs):
-        n_roots = sg.roots.size if eliminate_pendants else sg.num_vertices
+    for upos, (index, shard) in enumerate(units):
+        sg = subgraphs[index]
+        n_roots = _unit_num_roots(sg, shard, config)
+        if shard >= 0:
+            # zero-root shards still get a task so their (all-zero)
+            # vector reaches the cache/journal commit path once
+            tasks.append((upos, 0, n_roots))
+            h = _plan_of(sg, config).shard_graphs[shard]
+            weights.append(task_cost(h.num_arcs, n_roots))
+            continue
         if n_roots == 0:
             continue
         step = max(min(chunk_target, n_roots), 1)
         for lo in range(0, n_roots, step):
             hi = min(lo + step, n_roots)
-            tasks.append((idx, lo, hi))
-            weights.append((hi - lo) * max(sg.num_arcs, 1))
+            tasks.append((upos, lo, hi))
+            weights.append(task_cost(sg.num_arcs, hi - lo))
     order = lpt_order(weights)
-    return [tasks[i] for i in order]
+    return [tasks[i] for i in order], [weights[i] for i in order]
 
 
 def apgre_bc_detailed(
@@ -158,6 +288,21 @@ def apgre_bc_detailed(
     else:
         stats.num_sources = sum(sg.num_vertices for sg in subgraphs)
 
+    if config.shard:
+        # Build (and memoize) every shard plan up front: fork-based
+        # workers inherit finished plans, and the stats describe the
+        # decomposition whichever execution path the scores take.
+        # Plan-construction work is tallied out of TEPS.
+        plans = [(sg, _plan_of(sg, config)) for sg in subgraphs]
+        built = [(sg, p) for sg, p in plans if p is not None]
+        stats.shards_created = sum(p.k for _, p in built)
+        stats.separator_vertices = sum(p.num_separator for _, p in built)
+        stats.edges_correction = sum(p.edges_correction for _, p in built)
+        stats.largest_shard_ratio = max(
+            (p.largest_shard / sg.num_vertices for sg, p in built),
+            default=1.0,
+        )
+
     if config.compress:
         # Build (and memoize) every plan up front: fork-based workers
         # then inherit the finished plans instead of rebuilding them,
@@ -169,6 +314,8 @@ def apgre_bc_detailed(
         plans = [
             compression_plan(sg, eliminate_pendants=config.eliminate_pendants)
             for sg in subgraphs
+            # sharded sub-graphs skip the compression ladder entirely
+            if _plan_of(sg, config) is None
         ]
         stats.vertices_merged = sum(p.vertices_merged for p in plans)
         stats.chains_contracted = sum(p.chain_interiors for p in plans)
@@ -205,14 +352,12 @@ def apgre_bc_detailed(
         _serial_pass(bc, subgraphs, config, counter, timings)
     else:
         t0 = time.perf_counter()
-        tasks = _make_tasks(
-            subgraphs,
-            config.eliminate_pendants,
-            config.workers,
-            batch_size=config.batch_size,
-        )
+        units = _expand_units(subgraphs, config)
+        tasks, weights = _make_tasks(subgraphs, units, config)
         state = {
             "partition": partition,
+            "units": units,
+            "shard_max_size": config.shard_max_size,
             "eliminate_pendants": config.eliminate_pendants,
             "batch_size": config.batch_size,
             "compress": config.compress,
@@ -222,15 +367,16 @@ def apgre_bc_detailed(
 
             health = RunHealth()
             _batched_pool_pass(
-                graph, bc, tasks, subgraphs, config, counter, timings,
-                health, contributions=resolve_backend(config.backend)
+                graph, bc, tasks, weights, subgraphs, units, config,
+                counter, timings, health,
+                contributions=resolve_backend(config.backend)
                 .contributions,
             )
         elif config.parallel == "processes" and config.parallel_batched:
             health = RunHealth()
             _batched_pool_pass(
-                graph, bc, tasks, subgraphs, config, counter, timings,
-                health
+                graph, bc, tasks, weights, subgraphs, units, config,
+                counter, timings, health
             )
         elif config.parallel == "processes":
             health = RunHealth()
@@ -260,22 +406,21 @@ def _serial_pass(
     bc: np.ndarray, subgraphs, config: APGREConfig, counter, timings
 ) -> None:
     """The serial BC phase (also the full-serial fallback rung)."""
-    order = lpt_order([sg.num_arcs for sg in subgraphs])
-    for idx in order:
+    units = _expand_units(subgraphs, config)
+    order = lpt_order(
+        [_unit_weight(subgraphs[i], s, config) for i, s in units]
+    )
+    for pos in order:
+        index, shard = units[pos]
+        sg = subgraphs[index]
         t0 = time.perf_counter()
-        local = bc_subgraph(
-            subgraphs[idx],
-            eliminate_pendants=config.eliminate_pendants,
-            counter=counter,
-            batch_size=config.batch_size,
-            compress=config.compress,
-        )
+        local = _unit_scores(sg, shard, config, counter)
         elapsed = time.perf_counter() - t0
-        if idx == 0:
+        if index == 0:
             timings.top_bc += elapsed
         else:
             timings.rest_bc += elapsed
-        bc[subgraphs[idx].vertices] += local
+        bc[sg.vertices] += local
 
 
 def _supervised_pass(
@@ -335,7 +480,9 @@ def _batched_pool_pass(
     graph: CSRGraph,
     bc: np.ndarray,
     tasks,
+    weights,
     subgraphs,
+    units,
     config: APGREConfig,
     counter,
     timings,
@@ -370,13 +517,17 @@ def _batched_pool_pass(
     )
 
     def compute(task_id: int):
-        idx, lo, hi = tasks[task_id]
-        sg = subgraphs[idx]
+        upos, lo, hi = tasks[task_id]
+        index, shard = units[upos]
+        sg = subgraphs[index]
+        local_counter = WorkCounter()
+        if shard >= 0:
+            local = _unit_scores(sg, shard, config, local_counter)
+            return sg.vertices, local, local_counter.edges
         if config.eliminate_pendants:
             all_roots = sg.roots
         else:
             all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
-        local_counter = WorkCounter()
         local = bc_subgraph_batched(
             sg,
             eliminate_pendants=config.eliminate_pendants,
@@ -388,10 +539,6 @@ def _batched_pool_pass(
         )
         return sg.vertices, local, local_counter.edges
 
-    weights = [
-        (hi - lo) * max(subgraphs[idx].num_arcs, 1)
-        for idx, lo, hi in tasks
-    ]
     try:
         total, edge_total, _ = contributions(
             compute,
@@ -431,48 +578,45 @@ def _cached_pass(
 ) -> Optional[RunHealth]:
     """Cache-aware BC phase: replay hits, recompute and store misses.
 
-    Every sub-graph is keyed by its content fingerprint (local edges +
-    incoming α/β/γ summaries — :mod:`repro.cache.fingerprint`).  Hits
-    merge their stored local vectors and report their stored tallies
-    as ``stats.edges_replayed``; misses are recomputed — fanned out
-    over the execution backend named by ``config.backend`` when one is
-    set, else the shared-memory batched pool for
-    ``parallel="processes"``, a thread pool for ``"threads"``,
-    serially otherwise — and their freshly computed vectors and
-    *exact* tallies are stored.  Store writes happen only in the
-    parent, after the pool's poisoned-row recovery (or the thread
-    run's tree reduction), so a worker killed mid-recompute can never
-    commit a poisoned cache entry.
+    Every work unit — a whole sub-graph, or one shard task of a
+    sharded sub-graph — is keyed by its content fingerprint (local
+    edges + incoming α/β/γ summaries —
+    :mod:`repro.cache.fingerprint`; shard units add the shard id and
+    threshold under their own domain —
+    :mod:`repro.shard.fingerprint`).  Hits merge their stored local
+    vectors and report their stored tallies as
+    ``stats.edges_replayed``; misses are recomputed — fanned out over
+    the execution backend named by ``config.backend`` when one is set,
+    else the shared-memory batched pool for ``parallel="processes"``,
+    a thread pool for ``"threads"``, serially otherwise — and their
+    freshly computed vectors and *exact* tallies are stored.  Store
+    writes happen only in the parent, after the pool's poisoned-row
+    recovery (or the thread run's tree reduction), so a worker killed
+    mid-recompute can never commit a poisoned cache entry.
     """
-    from repro.cache.fingerprint import subgraph_key
-
     subgraphs = partition.subgraphs
-    keys = [
-        subgraph_key(
-            sg,
-            eliminate_pendants=config.eliminate_pendants,
-            compress=config.compress,
-        )
-        for sg in subgraphs
-    ]
+    units = _expand_units(subgraphs, config)
+    keys = [_unit_key(subgraphs[i], s, config) for i, s in units]
     misses: List[int] = []
-    for sg, key in zip(subgraphs, keys):
-        entry = store.get(key)
+    for upos, (index, shard) in enumerate(units):
+        sg = subgraphs[index]
+        entry = store.get(keys[upos])
         if entry is not None and entry.scores.size == sg.num_vertices:
             bc[sg.vertices] += entry.scores
             stats.edges_replayed += entry.edges
             stats.subgraphs_replayed += 1
         else:
-            misses.append(sg.index)
+            misses.append(upos)
     stats.subgraphs_recomputed = len(misses)
     if not misses:
         return None
 
-    def commit(index: int, local: np.ndarray, edges: int) -> None:
-        store.put(keys[index], local, edges)
+    def commit(upos: int, local: np.ndarray, edges: int) -> None:
+        store.put(keys[upos], local, edges)
 
     return _ladder_recompute(
-        graph, bc, subgraphs, misses, config, counter, stats, commit
+        graph, bc, subgraphs, units, misses, config, counter, stats,
+        commit,
     )
 
 
@@ -480,6 +624,7 @@ def _ladder_recompute(
     graph: CSRGraph,
     bc: np.ndarray,
     subgraphs,
+    units,
     misses,
     config: APGREConfig,
     counter,
@@ -487,17 +632,18 @@ def _ladder_recompute(
     commit,
     health: Optional[RunHealth] = None,
 ) -> Optional[RunHealth]:
-    """Recompute ``misses`` whole-sub-graph-at-a-time, behind the ladder.
+    """Recompute missed units whole-unit-at-a-time, behind the ladder.
 
-    Shared by the cached and journaled passes: each completed
-    sub-graph's full local vector and exact edge tally reach the
-    ``commit(index, local, edges)`` callback *parent-side only* (for
-    the engine paths, after the pool's poisoned-slot recovery or the
-    thread run's tree reduction), which persists them to the store
+    Shared by the cached and journaled passes: each completed unit's
+    full local vector and exact edge tally reach the
+    ``commit(unit_pos, local, edges)`` callback *parent-side only*
+    (for the engine paths, after the pool's poisoned-slot recovery or
+    the thread run's tree reduction), which persists them to the store
     and/or the run journal — a worker thread never touches the store
-    or the journal.  Rungs mirror :func:`_supervised_pass`: engine →
-    serial → Brandes (the Brandes rung wipes the replay/resume
-    bookkeeping, since the scores no longer decompose per sub-graph).
+    or the journal.  ``misses`` indexes ``units``.  Rungs mirror
+    :func:`_supervised_pass`: engine → serial → Brandes (the Brandes
+    rung wipes the replay/resume bookkeeping, since the scores no
+    longer decompose per unit).
     """
     contributions = None
     if config.backend is not None and config.workers > 1:
@@ -511,8 +657,8 @@ def _ladder_recompute(
             health = RunHealth()
         try:
             _pool_recompute(
-                bc, subgraphs, misses, config, counter, health, commit,
-                contributions=contributions,
+                bc, subgraphs, units, misses, config, counter, health,
+                commit, contributions=contributions,
             )
             return health
         except ExecutionError:
@@ -521,7 +667,7 @@ def _ladder_recompute(
             health.fallback_path = "serial"
             try:
                 _serial_recompute(
-                    bc, subgraphs, misses, config, counter, commit
+                    bc, subgraphs, units, misses, config, counter, commit
                 )
             except ReproError:
                 from repro.baselines.brandes import brandes_bc
@@ -535,59 +681,59 @@ def _ladder_recompute(
                 stats.subgraphs_resumed = 0
             return health
     if config.parallel == "threads" and config.workers > 1:
-        _thread_recompute(bc, subgraphs, misses, config, counter, commit)
+        _thread_recompute(
+            bc, subgraphs, units, misses, config, counter, commit
+        )
         return health
-    _serial_recompute(bc, subgraphs, misses, config, counter, commit)
+    _serial_recompute(bc, subgraphs, units, misses, config, counter, commit)
     return health
 
 
 def _serial_recompute(
-    bc, subgraphs, misses, config: APGREConfig, counter, commit
+    bc, subgraphs, units, misses, config: APGREConfig, counter, commit
 ) -> None:
     """Serial miss loop (also the cached/journaled fallback rung)."""
-    for idx in lpt_order([subgraphs[i].num_arcs for i in misses]):
-        sg = subgraphs[misses[idx]]
+    costs = [
+        _unit_weight(subgraphs[units[u][0]], units[u][1], config)
+        for u in misses
+    ]
+    for idx in lpt_order(costs):
+        upos = misses[idx]
+        index, shard = units[upos]
+        sg = subgraphs[index]
         tally = WorkCounter()
-        local = bc_subgraph(
-            sg,
-            eliminate_pendants=config.eliminate_pendants,
-            counter=tally,
-            batch_size=config.batch_size,
-            compress=config.compress,
-        )
-        commit(sg.index, local, tally.edges)
+        local = _unit_scores(sg, shard, config, tally)
+        commit(upos, local, tally.edges)
         bc[sg.vertices] += local
         counter.add(tally.edges)
 
 
 def _thread_recompute(
-    bc, subgraphs, misses, config: APGREConfig, counter, commit
+    bc, subgraphs, units, misses, config: APGREConfig, counter, commit
 ) -> None:
-    """Thread-pool miss recomputation (one whole sub-graph per task).
+    """Thread-pool miss recomputation (one whole unit per task).
 
     Commits happen on the caller's thread as results stream back in
     completion order, so the store/journal writers never race.
     """
-    order = lpt_order([subgraphs[i].num_arcs for i in misses])
-    miss_order = [misses[i] for i in order]
+    costs = [
+        _unit_weight(subgraphs[units[u][0]], units[u][1], config)
+        for u in misses
+    ]
+    miss_order = [misses[i] for i in lpt_order(costs)]
 
-    def run_one(index: int):
+    def run_one(upos: int):
+        index, shard = units[upos]
         sg = subgraphs[index]
         tally = WorkCounter()
-        local = bc_subgraph(
-            sg,
-            eliminate_pendants=config.eliminate_pendants,
-            counter=tally,
-            batch_size=config.batch_size,
-            compress=config.compress,
-        )
-        return index, local, tally.edges
+        local = _unit_scores(sg, shard, config, tally)
+        return upos, local, tally.edges
 
-    for index, local, edges in thread_map(
+    for upos, local, edges in thread_map(
         run_one, miss_order, workers=config.workers
     ):
-        sg = subgraphs[index]
-        commit(index, local, edges)
+        sg = subgraphs[units[upos][0]]
+        commit(upos, local, edges)
         bc[sg.vertices] += local
         counter.add(edges)
 
@@ -595,6 +741,7 @@ def _thread_recompute(
 def _pool_recompute(
     bc,
     subgraphs,
+    units,
     misses,
     config: APGREConfig,
     counter,
@@ -602,57 +749,44 @@ def _pool_recompute(
     commit,
     contributions=None,
 ) -> None:
-    """Fan cache misses out over a batched execution engine.
+    """Fan missed units out over a batched execution engine.
 
-    Misses are chunked into root slices exactly like a cache-less
-    ``parallel="processes"`` run (LPT order, ``workers``/``steal``
-    compose unchanged), but the engine — the shared-memory pool by
-    default, or the one ``contributions`` names (the ``backend=``
-    dispatch) — accumulates into a *concatenated local coordinate
-    space*: each miss sub-graph owns a contiguous slice of the score
-    rows, so the parent gets every miss's complete local vector back
-    and can commit it, which the global-sum layout of
-    :func:`_batched_pool_pass` cannot provide.  Per-batch edge tallies
-    come back exactly and are summed per sub-graph, so committed
-    entries replay the same tally a serial run would count.
+    Missed whole-sub-graph units are chunked into root slices exactly
+    like a cache-less ``parallel="processes"`` run (LPT order,
+    ``workers``/``steal`` compose unchanged) and shard units run one
+    task each, but the engine — the shared-memory pool by default, or
+    the one ``contributions`` names (the ``backend=`` dispatch) —
+    accumulates into a *concatenated local coordinate space*: each
+    missed unit owns a contiguous slice of the score rows, so the
+    parent gets every unit's complete local vector back and can commit
+    it, which the global-sum layout of :func:`_batched_pool_pass`
+    cannot provide.  Per-batch edge tallies come back exactly and are
+    summed per unit, so committed entries replay the same tally a
+    serial run would count.
     """
     if contributions is None:
         from repro.parallel.batched_pool import _pooled_contributions
 
         contributions = _pooled_contributions
 
-    miss_sgs = [subgraphs[i] for i in misses]
-    offsets = np.zeros(len(miss_sgs) + 1, dtype=np.int64)
+    miss_units = [units[u] for u in misses]
+    miss_sgs = [subgraphs[i] for i, _s in miss_units]
+    offsets = np.zeros(len(miss_units) + 1, dtype=np.int64)
     np.cumsum([sg.num_vertices for sg in miss_sgs], out=offsets[1:])
-    tasks = _make_tasks(
-        miss_sgs,
-        config.eliminate_pendants,
-        config.workers,
-        batch_size=config.batch_size,
-    )
+    tasks, weights = _make_tasks(subgraphs, miss_units, config)
 
     def compute(task_id: int):
         mi, lo, hi = tasks[task_id]
+        _index, shard = miss_units[mi]
         sg = miss_sgs[mi]
-        if config.eliminate_pendants:
-            all_roots = sg.roots
-        else:
-            all_roots = np.arange(sg.num_vertices, dtype=sg.roots.dtype)
         tally = WorkCounter()
-        local = bc_subgraph(
-            sg,
-            eliminate_pendants=config.eliminate_pendants,
-            counter=tally,
-            roots=all_roots[lo:hi],
-            batch_size=config.batch_size,
-            compress=config.compress,
-        )
+        if shard >= 0:
+            local = _unit_scores(sg, shard, config, tally)
+        else:
+            local = _unit_scores(sg, shard, config, tally, lo, hi)
         verts = np.arange(offsets[mi], offsets[mi] + sg.num_vertices)
         return verts, local, tally.edges
 
-    weights = [
-        (hi - lo) * max(miss_sgs[mi].num_arcs, 1) for mi, lo, hi in tasks
-    ]
     supervisor = SupervisorConfig(
         timeout=config.timeout,
         max_retries=config.max_retries,
@@ -668,12 +802,12 @@ def _pool_recompute(
         health=health,
     )
     counter.add(edge_total)
-    per_sg_edges = np.zeros(len(miss_sgs), dtype=np.int64)
+    per_unit_edges = np.zeros(len(miss_units), dtype=np.int64)
     for task_id, (mi, _lo, _hi) in enumerate(tasks):
-        per_sg_edges[mi] += batch_edges[task_id]
+        per_unit_edges[mi] += batch_edges[task_id]
     for mi, sg in enumerate(miss_sgs):
         local = concat[offsets[mi] : offsets[mi + 1]]
-        commit(sg.index, local, int(per_sg_edges[mi]))
+        commit(misses[mi], local, int(per_unit_edges[mi]))
         bc[sg.vertices] += local
 
 
@@ -721,54 +855,51 @@ def _journaled_pass(
     health = RunHealth()
     health.journal_resumable = bool(resumed)
 
+    units = _expand_units(subgraphs, config)
+    slots = [
+        index if shard < 0 else (index + 1) * _SLOT_BASE + shard
+        for index, shard in units
+    ]
     todo: List[int] = []
-    for sg in subgraphs:
-        entry = resumed.get(sg.index)
+    for upos, (index, shard) in enumerate(units):
+        sg = subgraphs[index]
+        entry = resumed.get(slots[upos])
         if entry is not None and entry.scores.size == sg.num_vertices:
             bc[sg.vertices] += entry.scores
             stats.edges_resumed += entry.edges
             stats.subgraphs_resumed += 1
         else:
-            todo.append(sg.index)
+            todo.append(upos)
 
     keys = None
     if store is not None:
-        from repro.cache.fingerprint import subgraph_key
-
-        keys = [
-            subgraph_key(
-                sg,
-                eliminate_pendants=config.eliminate_pendants,
-                compress=config.compress,
-            )
-            for sg in subgraphs
-        ]
+        keys = [_unit_key(subgraphs[i], s, config) for i, s in units]
         misses: List[int] = []
-        for index in todo:
-            sg = subgraphs[index]
-            entry = store.get(keys[index])
+        for upos in todo:
+            sg = subgraphs[units[upos][0]]
+            entry = store.get(keys[upos])
             if entry is not None and entry.scores.size == sg.num_vertices:
                 bc[sg.vertices] += entry.scores
                 stats.edges_replayed += entry.edges
                 stats.subgraphs_replayed += 1
                 journal.record_contribution(
-                    index, entry.scores, entry.edges
+                    slots[upos], entry.scores, entry.edges
                 )
             else:
-                misses.append(index)
+                misses.append(upos)
         todo = misses
     stats.subgraphs_recomputed = len(todo)
 
-    def commit(index: int, local: np.ndarray, edges: int) -> None:
+    def commit(upos: int, local: np.ndarray, edges: int) -> None:
         if store is not None:
-            store.put(keys[index], local, edges)
-        journal.record_contribution(index, local, edges)
+            store.put(keys[upos], local, edges)
+        journal.record_contribution(slots[upos], local, edges)
 
     try:
         if todo:
             _ladder_recompute(
-                graph, bc, subgraphs, todo, config, counter, stats,
-                commit, health,
+                graph, bc, subgraphs, units, todo, config, counter,
+                stats, commit, health,
             )
     except KeyboardInterrupt:
         journal.finalize("interrupted")
@@ -817,6 +948,8 @@ def apgre_bc(
     compress: bool = False,
     journal_dir=None,
     resume: bool = False,
+    shard: bool = False,
+    shard_max_size: Optional[int] = None,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -837,7 +970,11 @@ def apgre_bc(
     compression ladder first — see :mod:`repro.compress` and
     docs/COMPRESSION.md; ``journal_dir``/``resume`` enable the
     crash-safe run journal and checkpoint/resume — see
-    :mod:`repro.journal` and docs/ROBUSTNESS.md).
+    :mod:`repro.journal` and docs/ROBUSTNESS.md; ``shard``/
+    ``shard_max_size`` split over-threshold sub-graphs along vertex
+    separators into independently scheduled shard tasks with exact
+    boundary correction — see :mod:`repro.shard` and
+    docs/SHARDING.md).
     """
     kwargs = dict(
         parallel=parallel,
@@ -856,7 +993,10 @@ def apgre_bc(
         compress=compress,
         journal_dir=journal_dir,
         resume=resume,
+        shard=shard,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold
+    if shard_max_size is not None:
+        kwargs["shard_max_size"] = shard_max_size
     return apgre_bc_detailed(graph, APGREConfig(**kwargs)).scores

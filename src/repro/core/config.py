@@ -126,6 +126,24 @@ class APGREConfig:
         the unjournaled sub-graphs.  Requires ``journal_dir``; a
         missing journal or a fingerprint mismatch raises
         :class:`~repro.errors.JournalError`.
+    shard:
+        Split every undirected sub-graph larger than
+        ``shard_max_size`` along divide-and-conquer vertex separators
+        (:mod:`repro.shard`, docs/SHARDING.md): each shard computes
+        its home sources independently on a shard-plus-separator
+        graph, boundary-correction sweeps reconcile the paths that
+        cross the separator, and the per-shard vectors sum to exactly
+        the unsharded scores.  Shards are first-class work units —
+        they schedule independently through the execution backends,
+        carry their own cache keys and journal records, and turn the
+        dominant-BCC critical path from O(whole BCC) into O(largest
+        shard + correction).  Sub-graphs a shard plan cannot split
+        (directed, small, clique-like) run the unsharded kernels;
+        sharded sub-graphs skip the compression ladder (the two
+        reductions do not compose — see the docs matrix).
+    shard_max_size:
+        Interior size ceiling per shard (vertices).  Only sub-graphs
+        strictly larger than this are split.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -145,6 +163,8 @@ class APGREConfig:
     compress: bool = False
     journal_dir: Optional[str] = None
     resume: bool = False
+    shard: bool = False
+    shard_max_size: int = 2048
 
     def __post_init__(self) -> None:
         if self.parallel not in _PARALLEL_MODES:
@@ -196,6 +216,18 @@ class APGREConfig:
         if self.max_retries < 0:
             raise AlgorithmError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not isinstance(self.shard_max_size, int) or isinstance(
+            self.shard_max_size, bool
+        ):
+            raise AlgorithmError(
+                f"shard_max_size must be an int, got {self.shard_max_size!r}"
+            )
+        if self.shard_max_size < 16:
+            # thinner shards than this drown in separator tables; the
+            # floor also keeps the level-cut heuristic meaningful
+            raise AlgorithmError(
+                f"shard_max_size must be >= 16, got {self.shard_max_size}"
             )
         if self.resume and not self.journal_dir:
             raise AlgorithmError(

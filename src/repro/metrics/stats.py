@@ -20,9 +20,41 @@ __all__ = [
     "GraphStats",
     "SubgraphRow",
     "PartitionStats",
+    "bcc_size_histogram",
     "graph_stats",
     "partition_stats",
 ]
+
+
+def bcc_size_histogram(graph: CSRGraph):
+    """Power-of-two histogram of biconnected-component vertex sizes.
+
+    Returns ``[(lo, hi, count), ...]`` over occupied buckets
+    ``[2^k, 2^{k+1})``, largest-size bucket last.  This is the view
+    that motivates sharding (docs/SHARDING.md): a lone BCC in the top
+    bucket holding most of the graph is exactly the dominant critical
+    path ``shard=True`` splits.
+    """
+    from repro.decompose.articulation import biconnected_components
+    from repro.graph.ops import to_undirected
+
+    und = to_undirected(graph) if graph.directed else graph
+    result = biconnected_components(und)
+    sizes = np.array(
+        [v.size for v in result.component_vertices], dtype=np.int64
+    )
+    buckets = []
+    if sizes.size == 0:
+        return buckets
+    lo = 1
+    top = int(sizes.max())
+    while lo <= top:
+        hi = 2 * lo - 1
+        count = int(((sizes >= lo) & (sizes <= hi)).sum())
+        if count:
+            buckets.append((lo, hi, count))
+        lo *= 2
+    return buckets
 
 
 @dataclass

@@ -14,7 +14,29 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["lpt_order", "assign_lpt", "lpt_makespan"]
+__all__ = ["lpt_order", "assign_lpt", "lpt_makespan", "task_cost"]
+
+
+def task_cost(num_arcs: float, num_roots: float) -> float:
+    """Cost model for one BC task: ``edges × sqrt(roots)``.
+
+    A task sweeps ``roots`` sources over a graph (slice) of ``edges``
+    arcs.  Linear-in-roots models (``roots × edges``) over-penalise
+    root-heavy tasks: the batched SpMM kernel amortises per-level
+    overheads across the sources of a batch, the frontier matrices of
+    many sources share the same CSR scan, and warm caches make the
+    marginal source cheaper than the first one — measured task times
+    grow clearly sub-linearly in the root count.  ``sqrt`` is the
+    concave stand-in that keeps edge volume dominant (an edge must be
+    touched whatever the batch width) while still ranking a 10000-root
+    slice well above a 10-root slice of the same graph.  Weighting LPT
+    with this model places skewed workloads measurably better than
+    vertex- or edge-count alone (see the makespan test in
+    tests/test_parallel.py).
+    """
+    return max(float(num_arcs), 1.0) * float(
+        np.sqrt(max(float(num_roots), 1.0))
+    )
 
 
 def lpt_order(sizes: Sequence[float]) -> List[int]:

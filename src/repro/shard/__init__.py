@@ -1,0 +1,40 @@
+"""Divide-and-conquer sharding of dominant biconnected components.
+
+APGRE's coarse-grained parallelism is bounded by the block-cut tree:
+one giant top BCC (the common case on social graphs) serialises the
+whole run behind a single sub-graph.  This package splits any
+sub-graph above a size threshold along *arbitrary* vertex separators —
+the generalisation of the paper's articulation-point cuts worked out
+by Erdős, Ishakian, Bestavros and Terzi (arXiv:1406.4173) — into k
+balanced, content-addressable shards that compute independently and
+sum exactly:
+
+* :mod:`repro.shard.separator` — recursive BFS level-set bisection
+  producing the shard labelling and the separator set;
+* :mod:`repro.shard.plan` — the :class:`ShardPlan`: per-shard
+  barrier-BFS tables, correction DAGs and the shard graphs ``H_i``
+  (shard interior + separator + weighted boundary multi-arcs);
+* :mod:`repro.shard.kernel` — the exact per-shard kernel: home-source
+  sweeps on ``H_i`` plus boundary-correction sweeps crediting the
+  other shards' interiors, matching :func:`repro.core.bc_subgraph`
+  to float64 tolerance;
+* :mod:`repro.shard.fingerprint` — content keys making each shard a
+  first-class unit of the contribution cache and the run journal.
+
+See docs/SHARDING.md for the separator algorithm, the correction-sweep
+math and the composition matrix.
+"""
+
+from repro.shard.fingerprint import shard_key
+from repro.shard.kernel import bc_subgraph_sharded, shard_task_scores
+from repro.shard.plan import ShardPlan, shard_plan
+from repro.shard.separator import find_shard_labels
+
+__all__ = [
+    "ShardPlan",
+    "bc_subgraph_sharded",
+    "find_shard_labels",
+    "shard_key",
+    "shard_plan",
+    "shard_task_scores",
+]

@@ -1,0 +1,46 @@
+"""Content keys making each shard a first-class cache/journal unit.
+
+A shard task's output is a deterministic function of: the sub-graph's
+local CSR (the shard plan — labels, tables, shard graphs — is itself a
+deterministic function of the CSR and the size threshold), the shard
+id, the root set, and the ``γ``/``A``/``α``/``β`` summaries the kernel
+reads.  The key hashes exactly those inputs under a dedicated domain
+prefix, in local coordinates only — so structurally identical
+sub-graphs share shard entries wherever they sit in the host graph,
+the same content-addressing contract as
+:func:`repro.cache.fingerprint.subgraph_key`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cache.fingerprint import _DIGEST_SIZE, _feed, graph_fingerprint
+
+__all__ = ["shard_key"]
+
+
+def shard_key(
+    sg,
+    shard: int,
+    *,
+    max_size: int,
+    eliminate_pendants: bool = True,
+) -> str:
+    """Cache key of one shard's full-length local contribution vector.
+
+    ``max_size`` pins the shard decomposition (a different threshold
+    yields different shards, hence different vectors); the summaries
+    must be filled in, exactly as for the whole-sub-graph key.
+    """
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(b"bc-shard-v1")
+    h.update(b"ep" if eliminate_pendants else b"all")
+    h.update(f"max={int(max_size)};shard={int(shard)}".encode())
+    h.update(graph_fingerprint(sg.graph).encode())
+    _feed(h, "roots", sg.roots)
+    _feed(h, "gamma", sg.gamma)
+    _feed(h, "boundary", sg.is_boundary_art)
+    _feed(h, "alpha", sg.alpha)
+    _feed(h, "beta", sg.beta)
+    return h.hexdigest()

@@ -1,0 +1,308 @@
+"""The exact per-shard BC kernel with boundary-correction sweeps.
+
+One shard task owns the sources whose home is that shard and produces
+a *full-length* local score vector; the ``k`` task vectors of one
+sub-graph sum to exactly what :func:`repro.core.bc_subgraph.bc_subgraph`
+computes (float64 tolerance).  Per home source ``s``:
+
+1. **Shard sweep** — integer Dijkstra + one bucket-ordered DAG replay
+   on the shard graph ``H_i`` whose weighted arcs carry per-arc path
+   multiplicities ``μ``.  The four-dependency merge collapses into a
+   single channel here: since ``δ_o2o ≡ β(s)·δ_i2o`` the per-vertex
+   credit is ``c_s · (δ_i2i + δ_i2o)`` with
+   ``c_s = 1 + γ(s) + β(s)·[s ∈ A]``, computed by one backward sweep
+   over target masses ``w(t) = 1 + α(t)·[t ∈ A, t ≠ s]``.
+2. **Exterior derivation** — distances/σ to every vertex *outside*
+   the shard follow from the separator row of the sweep and the
+   plan's barrier tables: ``d(t) = min_p d(p) + L_j(p, t)``.  Each
+   separator vertex ``p`` is seeded with the dependency mass of the
+   pairs exiting through it, so interior ancestors (and ``p`` itself)
+   receive their cross-separator credit inside the same sweep.
+3. **Correction bookkeeping** — the same derivation accumulates
+   per-``(p, t)`` terminal masses, and the backward sweep captures
+   the dependency flow crossing each weighted separator arc, split
+   per realising shard.
+4. **Correction sweeps** — per ``(shard j ≠ i, p)``, replay the
+   plan's barrier DAG backward with those masses, crediting shard
+   ``j``'s interior vertices: the dependency share of paths that
+   merely *pass through* or *end beyond* the shard they live in
+   (arXiv:1406.4173's boundary reconciliation).
+
+Reached-vertex bookkeeping (articulation own-credit ``α``, the γ(s)
+self term) mirrors ``bc_subgraph`` line by line; see that module's
+docstring for the paper mapping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import WorkCounter
+from repro.decompose.partition import Subgraph
+from repro.shard.plan import ShardGraph, ShardPlan
+from repro.types import SCORE_DTYPE, VERTEX_DTYPE
+
+__all__ = ["bc_subgraph_sharded", "shard_task_scores"]
+
+
+def _h_sssp(h: ShardGraph, s: int) -> np.ndarray:
+    """Shortest distances from ``s`` over the shard graph's arcs.
+
+    scipy's Dijkstra over a min-reduced sparse matrix when available
+    (parallel arcs keep their minimum length — the per-arc DAG test
+    re-qualifies each arc individually); binary-heap fallback
+    otherwise.  Lengths are small integers, exact in float64.
+    """
+    try:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra
+    except ImportError:  # pragma: no cover - minimal environments
+        return _heap_sssp(h, s)
+    if h._sssp_matrix is None:
+        n = h.n
+        key = h.src * n + h.dst
+        order = np.argsort(key, kind="stable")
+        ks = key[order]
+        bounds = np.flatnonzero(np.concatenate(([True], np.diff(ks) > 0)))
+        dedup = ks[bounds]
+        h._sssp_matrix = csr_matrix(
+            (
+                np.minimum.reduceat(h.length[order], bounds),
+                (dedup // n, dedup % n),
+            ),
+            shape=(n, n),
+        )
+    return dijkstra(h._sssp_matrix, directed=True, indices=s)
+
+
+def _heap_sssp(h: ShardGraph, s: int) -> np.ndarray:
+    dist = np.full(h.n, np.inf)
+    dist[s] = 0.0
+    adj: dict = {}
+    for a, b, ln in zip(
+        h.src.tolist(), h.dst.tolist(), h.length.tolist()
+    ):
+        adj.setdefault(a, []).append((b, ln))
+    heap = [(0.0, s)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for w, ln in adj.get(v, ()):
+            nd = d + ln
+            if nd < dist[w]:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist
+
+
+def shard_task_scores(
+    sg: Subgraph,
+    plan: ShardPlan,
+    shard: int,
+    *,
+    eliminate_pendants: bool = True,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """One shard task's full-length local score vector.
+
+    Sweeps the sources homed in ``shard`` on its shard graph and runs
+    the correction sweeps their masses require; summing the vectors
+    of all ``plan.k`` tasks reproduces ``bc_subgraph(sg)`` exactly.
+    The returned vector spans *all* of ``sg`` — a task credits its own
+    interior, the separator, and (through corrections and exterior
+    α-credit) every other shard's interior.
+    """
+    g = sg.graph
+    n = g.n
+    undirected = not g.directed
+    alpha = sg.alpha
+    beta = sg.beta
+    is_art = sg.is_boundary_art.astype(bool)
+    if eliminate_pendants:
+        gamma = sg.gamma
+        roots = sg.roots
+    else:
+        gamma = np.zeros(n, dtype=SCORE_DTYPE)
+        roots = np.arange(n, dtype=VERTEX_DTYPE)
+    my_roots = plan.home_roots(roots, shard)
+    bc = np.zeros(n, dtype=SCORE_DTYPE)
+    h = plan.shard_graphs[shard]
+    ext = plan.ext[shard]
+    S = plan.num_separator
+    n_h = h.n
+    edges = 0
+
+    h_id = np.full(n, -1, np.int64)
+    h_id[h.verts] = np.arange(n_h)
+    h_alpha = alpha[h.verts]
+    h_art = is_art[h.verts]
+    wmass_h = 1.0 + np.where(h_art, h_alpha, 0.0)
+    ext_alpha = alpha[ext.verts]
+    ext_art = is_art[ext.verts]
+    ext_w = 1.0 + np.where(ext_art, ext_alpha, 0.0)
+    n_ext = int(ext.verts.size)
+
+    acc = np.zeros((S, n_ext))  # terminal masses for correction sweeps
+    flow_w = np.zeros(h.n_w)  # dependency flow over weighted arcs
+
+    for s in my_roots.tolist():
+        s_h = int(h_id[s])
+        dist = _h_sssp(h, s_h)
+        finite = np.isfinite(dist)
+        dag = finite[h.src] & (dist[h.src] + h.length == dist[h.dst])
+        arc_ids = np.flatnonzero(dag)
+        order = np.argsort(dist[h.dst[arc_ids]], kind="stable")
+        arc_ids = arc_ids[order]
+        a_src = h.src[arc_ids]
+        a_dst = h.dst[arc_ids]
+        a_mu = h.mu[arc_ids]
+        w_pos = arc_ids - h.w_off  # >= 0 exactly for weighted arcs
+        bounds = np.flatnonzero(
+            np.concatenate(([True], np.diff(dist[a_dst]) > 0))
+        )
+        bounds = np.append(bounds, a_dst.size)
+        edges += h.num_arcs + 2 * int(a_src.size)
+
+        sigma = np.zeros(n_h)
+        sigma[s_h] = 1.0
+        for bi in range(bounds.size - 1):
+            lo, hi = bounds[bi], bounds[bi + 1]
+            np.add.at(
+                sigma, a_dst[lo:hi], sigma[a_src[lo:hi]] * a_mu[lo:hi]
+            )
+
+        c_s = 1.0 + float(gamma[s]) + (
+            float(beta[s]) if is_art[s] else 0.0
+        )
+        d_sep = dist[h.ni :]
+        sig_sep = sigma[h.ni :]
+
+        # exterior derivation: one (|S|, n_ext) pass per source
+        if n_ext:
+            cand = d_sep[:, None] + ext.L
+            d_ext = cand.min(axis=0)
+            fin_ext = np.isfinite(d_ext)
+            ach = (cand == d_ext[None, :]) & fin_ext[None, :]
+            sig_ext = np.where(
+                ach, sig_sep[:, None] * ext.SIG, 0.0
+            ).sum(axis=0)
+            good = ach & (sig_ext > 0.0)[None, :]
+            coef_t = np.zeros_like(cand)
+            np.divide(
+                ext.SIG * ext_w[None, :],
+                sig_ext[None, :],
+                out=coef_t,
+                where=good,
+            )
+            coef_t[~good] = 0.0
+            m_p = sig_sep * coef_t.sum(axis=1)
+            acc += c_s * sig_sep[:, None] * coef_t
+        else:
+            fin_ext = np.zeros(0, bool)
+            m_p = np.zeros(S)
+
+        # backward sweep: target masses + exterior exit masses seeded
+        # at the separator, flow over weighted arcs captured per arc
+        tmass = wmass_h.copy()
+        tmass[h.ni :] += m_p
+        delta = np.zeros(n_h)
+        for bi in range(bounds.size - 2, -1, -1):
+            lo, hi = bounds[bi], bounds[bi + 1]
+            bs, bd = a_src[lo:hi], a_dst[lo:hi]
+            coef = sigma[bs] * a_mu[lo:hi] / sigma[bd]
+            contrib = coef * (tmass[bd] + delta[bd])
+            np.add.at(delta, bs, contrib)
+            wk = w_pos[lo:hi]
+            is_w = wk >= 0
+            if is_w.any():
+                np.add.at(flow_w, wk[is_w], c_s * contrib[is_w])
+
+        # merge: reached H vertices, v != s; articulation points add
+        # their own α credit, separator vertices their exit mass
+        reached_h = finite.copy()
+        reached_h[s_h] = False
+        rh = np.flatnonzero(reached_h)
+        contrib_h = delta[rh] + np.where(h_art[rh], h_alpha[rh], 0.0)
+        exit_mass = np.zeros(n_h)
+        exit_mass[h.ni :] = m_p
+        np.add.at(bc, h.verts[rh], c_s * (contrib_h + exit_mass[rh]))
+        if n_ext:
+            re = np.flatnonzero(fin_ext & ext_art)
+            np.add.at(bc, ext.verts[re], c_s * ext_alpha[re])
+
+        # the γ(s) derived-pendant self term (bc_subgraph line 48)
+        g_s = float(gamma[s])
+        if g_s:
+            reached_global = int(reached_h.sum()) + int(fin_ext.sum())
+            art_alpha = float(h_alpha[rh[h_art[rh]]].sum())
+            if n_ext:
+                art_alpha += float(
+                    ext_alpha[np.flatnonzero(fin_ext & ext_art)].sum()
+                )
+            self_i2o = art_alpha + (
+                float(alpha[s]) if is_art[s] else 0.0
+            )
+            bc[s] += g_s * (
+                reached_global
+                - (1.0 if undirected else 0.0)
+                + self_i2o
+            )
+
+    # correction sweeps: hand the accumulated terminal masses and
+    # weighted-arc flows to the shards whose interiors realise them
+    for j in range(plan.k):
+        if j == shard:
+            continue
+        cols = np.flatnonzero(ext.shard_of == j)
+        nj = int(plan.interiors[j].size)
+        F = np.zeros((S, S))
+        if h.n_w:
+            F[h.w_p, h.w_q] = flow_w * h.w_share[:, j]
+        for pi, dagrec in plan.bdags[j].items():
+            tau = np.zeros(nj + S)
+            if cols.size:
+                tau[ext.tpos[cols]] = acc[pi, cols]
+            tau[nj:] = F[pi]
+            if not tau.any():
+                continue
+            delta_b = np.zeros(nj + S)
+            sig_b = dagrec.sigma
+            bnd = dagrec.bounds
+            for bi in range(bnd.size - 2, -1, -1):
+                lo, hi = bnd[bi], bnd[bi + 1]
+                bs, bd = dagrec.src[lo:hi], dagrec.dst[lo:hi]
+                np.add.at(
+                    delta_b,
+                    bs,
+                    sig_b[bs] / sig_b[bd] * (tau[bd] + delta_b[bd]),
+                )
+            edges += int(dagrec.src.size)
+            bc[plan.interiors[j]] += delta_b[:nj]
+
+    if counter is not None:
+        counter.add(edges)
+    return bc
+
+
+def bc_subgraph_sharded(
+    sg: Subgraph,
+    plan: ShardPlan,
+    *,
+    eliminate_pendants: bool = True,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """All shard tasks of one sub-graph, summed (the serial path)."""
+    bc = np.zeros(sg.graph.n, dtype=SCORE_DTYPE)
+    for shard in range(plan.k):
+        bc += shard_task_scores(
+            sg,
+            plan,
+            shard,
+            eliminate_pendants=eliminate_pendants,
+            counter=counter,
+        )
+    return bc

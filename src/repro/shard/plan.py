@@ -1,0 +1,373 @@
+"""The shard plan: everything the per-shard kernel reads, built once.
+
+For one sub-graph split into interiors ``A_0..A_{k-1}`` plus the
+separator set ``S`` (:mod:`repro.shard.separator`), the plan holds:
+
+* **barrier tables** per shard ``j``: for every separator vertex
+  ``p``, the *interior-only* distances ``L_j(p, t)`` and path counts
+  ``σ_j(p, t)`` to every ``t ∈ A_j`` (and to every other separator
+  vertex ``q``), obtained by a barrier BFS in which separator
+  vertices are terminals — discovered, counted, never expanded.  The
+  first hop must enter the interior, so a direct ``p–q`` arc (already
+  an explicit arc of every shard graph) is never double-counted as an
+  excursion;
+* **correction DAGs** per ``(j, p)``: the barrier BFS's shortest-path
+  DAG, stored bucket-ordered by depth so the kernel can replay a
+  backward dependency sweep without re-traversing the graph;
+* **shard graphs** ``H_i``: the induced graph on ``A_i ∪ S`` plus one
+  weighted multi-arc per separator pair ``(p, q)`` carrying the
+  minimum interior-excursion length through the *other* shards and
+  its path multiplicity ``μ`` — so distances and path counts measured
+  inside ``H_i`` equal those of the whole sub-graph for every vertex
+  of ``A_i ∪ S`` (arXiv:1406.4173's distance-preserving sketch);
+* **exterior tables** per shard ``i``: the concatenated barrier
+  tables of all other shards, laid out for one vectorised
+  ``(|S|, n_ext)`` derivation of exterior distances/σ per source.
+
+Plans are deterministic functions of the sub-graph CSR and the shard
+threshold; they are memoized on the ``Subgraph`` object (fork-based
+workers inherit built plans) and fingerprinted by
+:func:`repro.shard.fingerprint.shard_key`.  Table construction cost is
+tallied in ``edges_correction`` — work the sharded run performs that
+an unsharded run would not, kept out of TEPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import expand_frontier
+from repro.shard.separator import find_shard_labels
+
+__all__ = ["BarrierDag", "ExtTables", "ShardGraph", "ShardPlan", "shard_plan"]
+
+
+@dataclass
+class BarrierDag:
+    """One ``(shard, separator vertex)`` correction DAG, bucket-ordered.
+
+    Vertex ids are *barrier-local*: interiors of the shard first
+    (``0..n_j-1``), then the separator vertices (``n_j + sep_pos``).
+    ``src``/``dst`` list the DAG arcs sorted by ``dist[dst]``;
+    ``bounds`` delimits the equal-depth buckets; ``sigma`` is the
+    interior-only path-count array over the barrier-local vertices.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    bounds: np.ndarray
+    sigma: np.ndarray
+
+
+@dataclass
+class ShardGraph:
+    """``H_i``: shard interior + separator + weighted boundary arcs.
+
+    ``verts`` maps H-local ids to sub-graph-local ids (interiors
+    first, separator at ``n_i + sep_pos``).  Arc arrays carry explicit
+    unit arcs first, then the ``n_w`` weighted separator-pair arcs
+    (lengths ``>= 2``, multiplicities ``mu``); ``w_off`` is the index
+    of the first weighted arc.  ``w_share[w, j]`` splits weighted-arc
+    flow back onto the shards whose interior excursions realise it.
+    """
+
+    verts: np.ndarray
+    ni: int
+    src: np.ndarray
+    dst: np.ndarray
+    length: np.ndarray
+    mu: np.ndarray
+    w_off: int
+    n_w: int
+    w_p: np.ndarray
+    w_q: np.ndarray
+    w_share: np.ndarray
+    _sssp_matrix: object = None
+
+    @property
+    def n(self) -> int:
+        return int(self.verts.size)
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.src.size)
+
+
+@dataclass
+class ExtTables:
+    """Exterior of shard ``i``: all other shards' interiors, stacked.
+
+    ``L``/``SIG`` are the ``(|S|, n_ext)`` interior-only distance and
+    σ tables; ``shard_of``/``tpos`` map each exterior column back to
+    its owning shard and barrier-local interior position.
+    """
+
+    verts: np.ndarray
+    L: np.ndarray
+    SIG: np.ndarray
+    shard_of: np.ndarray
+    tpos: np.ndarray
+
+
+@dataclass
+class ShardPlan:
+    """Deterministic shard decomposition of one sub-graph."""
+
+    k: int
+    labels: np.ndarray
+    sep: np.ndarray
+    sep_pos: np.ndarray
+    home: np.ndarray
+    interiors: List[np.ndarray]
+    int_pos: np.ndarray
+    L: List[np.ndarray]
+    SIG: List[np.ndarray]
+    bdags: List[Dict[int, BarrierDag]]
+    shard_graphs: List[ShardGraph]
+    ext: List[ExtTables]
+    edges_correction: int
+    largest_shard: int = 0
+    stats_cached: dict = field(default_factory=dict)
+
+    @property
+    def num_separator(self) -> int:
+        return int(self.sep.size)
+
+    def home_roots(self, roots: np.ndarray, shard: int) -> np.ndarray:
+        """The sources shard ``shard`` sweeps (its home vertices)."""
+        return roots[self.home[roots] == shard]
+
+
+def _barrier_bfs(
+    g: CSRGraph, p: int, allowed: np.ndarray, expandable: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """BFS from ``p`` where only ``expandable`` vertices expand.
+
+    Returns ``(dist, sigma, dag_src, dag_dst)`` over sub-graph-local
+    ids; unreached vertices have ``dist == -1``.  The level-0 frontier
+    only discovers expandable (interior) vertices, so every counted
+    path has at least one interior intermediate — direct separator-to-
+    separator arcs are explicit arcs of the shard graphs, not
+    excursions.
+    """
+    n = g.n
+    dist = np.full(n, -1, np.int64)
+    sigma = np.zeros(n)
+    dist[p] = 0
+    sigma[p] = 1.0
+    frontier = np.array([p], np.int64)
+    all_src: List[np.ndarray] = []
+    all_dst: List[np.ndarray] = []
+    d = 0
+    while frontier.size:
+        dst, src = expand_frontier(g.out_indptr, g.out_indices, frontier)
+        if dst.size == 0:
+            break
+        keep = allowed[dst]
+        if d == 0:
+            keep &= expandable[dst]
+        dst, src = dst[keep], src[keep]
+        newly = np.unique(dst[dist[dst] == -1])
+        dist[newly] = d + 1
+        level = dist[dst] == d + 1
+        dst, src = dst[level], src[level]
+        np.add.at(sigma, dst, sigma[src])
+        all_src.append(src)
+        all_dst.append(dst)
+        frontier = newly[expandable[newly]]
+        d += 1
+    if all_src:
+        return dist, sigma, np.concatenate(all_src), np.concatenate(all_dst)
+    empty = np.empty(0, np.int64)
+    return dist, sigma, empty, empty
+
+
+def _bucket_bounds(depth_keys: np.ndarray) -> np.ndarray:
+    """Start offsets of equal-value runs in a sorted key array."""
+    if depth_keys.size == 0:
+        return np.zeros(1, np.int64)
+    bounds = np.flatnonzero(
+        np.concatenate(([True], np.diff(depth_keys) > 0))
+    )
+    return np.append(bounds, depth_keys.size)
+
+
+def build_shard_plan(g: CSRGraph, max_size: int) -> Optional[ShardPlan]:
+    """Build the full plan, or ``None`` when the graph resists splitting."""
+    n = g.n
+    labels, k = find_shard_labels(g, max_size)
+    sep = np.flatnonzero(labels == -1)
+    S = int(sep.size)
+    if k < 2 or S == 0:
+        return None
+    sep_pos = np.full(n, -1, np.int64)
+    sep_pos[sep] = np.arange(S)
+    interiors = [np.flatnonzero(labels == i) for i in range(k)]
+    int_pos = np.full(n, -1, np.int64)
+    for verts in interiors:
+        int_pos[verts] = np.arange(verts.size)
+
+    # separator vertices are swept by the smallest adjacent shard
+    home = labels.astype(np.int64)
+    for p in sep.tolist():
+        nl = labels[g.out_neighbors(p)]
+        nl = nl[nl >= 0]
+        home[p] = int(nl.min()) if nl.size else 0
+
+    edges_correction = 0
+    L: List[np.ndarray] = []
+    SIG: List[np.ndarray] = []
+    bdags: List[Dict[int, BarrierDag]] = []
+    LQ = np.full((k, S, S), np.inf)
+    SIGQ = np.zeros((k, S, S))
+    for j in range(k):
+        verts_j = interiors[j]
+        nj = verts_j.size
+        allowed = np.zeros(n, bool)
+        allowed[verts_j] = True
+        allowed[sep] = True
+        expandable = np.zeros(n, bool)
+        expandable[verts_j] = True
+        b_id = np.full(n, -1, np.int64)
+        b_id[verts_j] = np.arange(nj)
+        b_id[sep] = nj + np.arange(S)
+        Lj = np.full((S, nj), np.inf)
+        Sj = np.zeros((S, nj))
+        dags: Dict[int, BarrierDag] = {}
+        for pi, p in enumerate(sep.tolist()):
+            dist, sigma, dsrc, ddst = _barrier_bfs(
+                g, p, allowed, expandable
+            )
+            edges_correction += int(dsrc.size)
+            reach = verts_j[dist[verts_j] >= 0]
+            Lj[pi, int_pos[reach]] = dist[reach]
+            Sj[pi, int_pos[reach]] = sigma[reach]
+            reach_q = sep[dist[sep] > 0]
+            LQ[j, pi, sep_pos[reach_q]] = dist[reach_q]
+            SIGQ[j, pi, sep_pos[reach_q]] = sigma[reach_q]
+            if dsrc.size:
+                order = np.argsort(dist[ddst], kind="stable")
+                sigma_b = np.zeros(nj + S)
+                reach_all = np.flatnonzero(dist >= 0)
+                sigma_b[b_id[reach_all]] = sigma[reach_all]
+                dags[pi] = BarrierDag(
+                    src=b_id[dsrc[order]],
+                    dst=b_id[ddst[order]],
+                    bounds=_bucket_bounds(dist[ddst[order]]),
+                    sigma=sigma_b,
+                )
+        L.append(Lj)
+        SIG.append(Sj)
+        bdags.append(dags)
+
+    src_all, dst_all = g.arcs()
+    is_sep = labels == -1
+    shard_graphs: List[ShardGraph] = []
+    for i in range(k):
+        verts_i = interiors[i]
+        ni = verts_i.size
+        h_id = np.full(n, -1, np.int64)
+        h_id[verts_i] = np.arange(ni)
+        h_id[sep] = ni + np.arange(S)
+        in_h = (labels == i) | is_sep
+        mask = in_h[src_all] & in_h[dst_all]
+        e_src = h_id[src_all[mask]]
+        e_dst = h_id[dst_all[mask]]
+        # weighted separator-pair arcs: the minimum interior-excursion
+        # length through any *other* shard, multiplicity summed over
+        # the shards achieving it
+        lq = LQ.copy()
+        lq[i] = np.inf
+        lmin = lq.min(axis=0)
+        ach = lq == lmin[None]
+        mu = np.where(ach, SIGQ, 0.0).sum(axis=0)
+        wp, wq = np.nonzero(np.isfinite(lmin) & (mu > 0))
+        w_len = lmin[wp, wq]
+        w_mu = mu[wp, wq]
+        w_share = np.where(ach[:, wp, wq], SIGQ[:, wp, wq], 0.0).T
+        if w_mu.size:
+            w_share = w_share / w_mu[:, None]
+        edges_correction += int(e_src.size) + int(wp.size)
+        shard_graphs.append(
+            ShardGraph(
+                verts=np.concatenate([verts_i, sep]),
+                ni=ni,
+                src=np.concatenate([e_src, ni + wp]),
+                dst=np.concatenate([e_dst, ni + wq]),
+                length=np.concatenate(
+                    [np.ones(e_src.size), w_len.astype(np.float64)]
+                ),
+                mu=np.concatenate([np.ones(e_src.size), w_mu]),
+                w_off=int(e_src.size),
+                n_w=int(wp.size),
+                w_p=wp,
+                w_q=wq,
+                w_share=w_share,
+            )
+        )
+
+    ext: List[ExtTables] = []
+    for i in range(k):
+        others = [j for j in range(k) if j != i]
+        verts = np.concatenate([interiors[j] for j in others])
+        ext.append(
+            ExtTables(
+                verts=verts,
+                L=np.concatenate([L[j] for j in others], axis=1),
+                SIG=np.concatenate([SIG[j] for j in others], axis=1),
+                shard_of=np.concatenate(
+                    [np.full(interiors[j].size, j, np.int64) for j in others]
+                ),
+                tpos=np.concatenate(
+                    [np.arange(interiors[j].size) for j in others]
+                ),
+            )
+        )
+
+    plan = ShardPlan(
+        k=k,
+        labels=labels,
+        sep=sep,
+        sep_pos=sep_pos,
+        home=home,
+        interiors=interiors,
+        int_pos=int_pos,
+        L=L,
+        SIG=SIG,
+        bdags=bdags,
+        shard_graphs=shard_graphs,
+        ext=ext,
+        edges_correction=edges_correction,
+        largest_shard=max(h.n for h in shard_graphs),
+    )
+    return plan
+
+
+def shard_plan(sg, *, max_size: int) -> Optional[ShardPlan]:
+    """The (memoized) shard plan of one partition sub-graph.
+
+    Returns ``None`` when sharding does not apply: directed
+    sub-graphs (the correction algebra assumes symmetric excursions),
+    sub-graphs at or under the threshold, and graphs whose level
+    structure yields no usable cut.  Plans are cached on the
+    ``Subgraph`` object per threshold, mirroring
+    :func:`repro.compress.compression_plan` — fork-based workers
+    inherit plans the parent already built.
+    """
+    g = sg.graph
+    cache = getattr(sg, "_shard_plans", None)
+    if cache is None:
+        cache = {}
+        sg._shard_plans = cache
+    key = int(max_size)
+    if key in cache:
+        return cache[key]
+    plan = None
+    if not g.directed and g.n > max_size:
+        plan = build_shard_plan(g, max_size)
+    cache[key] = plan
+    return plan

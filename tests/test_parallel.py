@@ -10,7 +10,12 @@ from repro.parallel.pool import (
     map_sources_bc,
     thread_map,
 )
-from repro.parallel.scheduler import assign_lpt, lpt_makespan, lpt_order
+from repro.parallel.scheduler import (
+    assign_lpt,
+    lpt_makespan,
+    lpt_order,
+    task_cost,
+)
 from repro.parallel.sharedmem import SharedArray
 from repro.graph.traversal import bfs_sigma
 
@@ -172,6 +177,46 @@ class TestScheduler:
 
     def test_makespan_empty(self):
         assert lpt_makespan([], 3) == 0.0
+
+
+class TestTaskCost:
+    def test_sqrt_scaling_in_roots(self):
+        # quadrupling the roots doubles the cost — the sub-linear
+        # batching effect the model encodes
+        assert task_cost(1000, 400) == pytest.approx(
+            2.0 * task_cost(1000, 100)
+        )
+
+    def test_linear_in_edges(self):
+        assert task_cost(2000, 9) == pytest.approx(2.0 * task_cost(1000, 9))
+
+    def test_floors_at_one(self):
+        assert task_cost(0, 0) == 1.0
+        assert task_cost(0, 100) == 10.0
+
+    def test_beats_linear_weights_on_skewed_workload(self):
+        """The satellite regression: on a root-heavy vs edge-heavy mix,
+        LPT weighted by edges × sqrt(roots) places tasks measurably
+        better than LPT weighted by the old linear edges × roots model
+        (measured against the concave cost the weights stand in for)."""
+        # one root-heavy task, four edge-heavy ones, a tail of smalls
+        tasks = (
+            [(100, 1_000_000)]
+            + [(100_000, 1)] * 4
+            + [(500, 16)] * 6
+        )
+        true = [task_cost(e, r) for e, r in tasks]
+        linear = [max(e, 1) * max(r, 1) for e, r in tasks]
+
+        def makespan(weights, workers=2):
+            bins = assign_lpt(weights, workers)
+            return max(sum(true[t] for t in b) for b in bins)
+
+        modelled = makespan(true)
+        naive = makespan(linear)
+        assert modelled < naive
+        # and the modelled placement is near the work lower bound
+        assert modelled <= 1.34 * sum(true) / 2
 
 
 class TestSharedArray:
