@@ -35,6 +35,7 @@ def brandes_bc(
     workers: int = 1,
     steal: bool = True,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Exact BC via Brandes' algorithm (float64, unnormalised).
 
@@ -50,7 +51,9 @@ def brandes_bc(
     the execution backend named by ``backend`` (``"threads"`` /
     ``"processes"`` / ``"serial"`` / ``"auto"``, default per host —
     see :mod:`repro.parallel.backends`; ``steal`` toggles work
-    stealing between workers).
+    stealing between workers).  ``kernel`` names the compute kernel
+    for the batched traversals (:mod:`repro.graph.kernels`) and
+    implies ``batch_size="auto"`` when none is set.
     """
     return run_per_source(
         graph,
@@ -60,6 +63,7 @@ def brandes_bc(
         workers=workers,
         steal=steal,
         backend=backend,
+        kernel=kernel,
     )
 
 

@@ -42,12 +42,33 @@ __all__ = [
 
 @dataclass
 class WorkCounter:
-    """Mutable tally of edges examined by an algorithm run."""
+    """Mutable tally of edges examined by an algorithm run.
+
+    ``edges`` counts top-down (push) probes and backward-sweep replays;
+    ``pulled`` counts the direction-optimizing kernel's bottom-up
+    probes (:mod:`repro.graph.kernels.pull`).  Both are arcs actually
+    examined — ``examined`` is their sum and is the quantity behind
+    TEPS.  ``switches`` counts push↔pull direction flips: heuristic
+    bookkeeping, *outside* TEPS.
+    """
 
     edges: int = 0
+    pulled: int = 0
+    switches: int = 0
 
     def add(self, k: int) -> None:
         self.edges += int(k)
+
+    def add_pulled(self, k: int) -> None:
+        self.pulled += int(k)
+
+    def add_switch(self, k: int = 1) -> None:
+        self.switches += int(k)
+
+    @property
+    def examined(self) -> int:
+        """Total arcs examined either direction (the TEPS numerator)."""
+        return self.edges + self.pulled
 
 
 def accumulate_dependencies(
@@ -139,6 +160,7 @@ def run_per_source(
     batch_size=None,
     steal: bool = True,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Sum per-source dependencies into BC scores.
 
@@ -176,13 +198,20 @@ def run_per_source(
     the per-source pool (``workers > 1`` without ``batch_size``)
     counters still stay in the children; pass ``workers=1`` there when
     instrumenting.
+
+    ``kernel`` names the compute kernel the batched paths traverse
+    with (:mod:`repro.graph.kernels`: ``"auto"`` / ``"arcs"`` /
+    ``"spmm"`` / ``"pull"`` / ``"numba"``); ``None`` defers to
+    ``REPRO_KERNEL`` and then automatic selection.  It requires a
+    batched run, so passing it without ``batch_size`` implies
+    ``batch_size="auto"`` (like ``backend``).
     """
     n = graph.n
     if sources is None:
         source_list: Sequence[int] = range(n)
     else:
         source_list = sources
-    if backend is not None and batch_size is None:
+    if (backend is not None or kernel is not None) and batch_size is None:
         batch_size = "auto"
     if batch_size is not None:
         if mode != "arcs":
@@ -194,6 +223,13 @@ def run_per_source(
             raise AlgorithmError(
                 "batch_size requires the default bfs_sigma forward"
             )
+    if batch_size is not None and kernel is not None:
+        # price the RAM model against the kernel that will actually
+        # run (resolution of an explicit name is stable; "auto" here
+        # is only a sizing hint — the engines re-resolve per batch)
+        from repro.graph import kernels as _kernels
+
+        kernel = _kernels.resolve_kernel_name(kernel, graph=graph)
     if batch_size is not None and (workers > 1 or backend is not None):
         from repro.graph.batched import resolve_batch_size
         from repro.parallel.backends import resolve_backend
@@ -205,6 +241,7 @@ def run_per_source(
             graph.num_arcs,
             workers=workers,
             shared_csr=engine.shared_csr,
+            kernel=kernel,
         )
         return engine.scores(
             graph,
@@ -215,6 +252,7 @@ def run_per_source(
             counter=counter,
             config=supervisor,
             health=health,
+            kernel=kernel,
         )
     if workers > 1:
         from repro.parallel.pool import map_sources_bc
@@ -234,9 +272,12 @@ def run_per_source(
             resolve_batch_size,
         )
 
-        batch = resolve_batch_size(batch_size, n, graph.num_arcs)
+        batch = resolve_batch_size(
+            batch_size, n, graph.num_arcs, kernel=kernel
+        )
         return batched_bc_scores(
-            graph, source_list, batch=batch, counter=counter
+            graph, source_list, batch=batch, counter=counter,
+            kernel=kernel,
         )
     bc = np.zeros(n, dtype=SCORE_DTYPE)
     for s in source_list:

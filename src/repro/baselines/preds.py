@@ -31,6 +31,7 @@ def preds_bc(
     batch_size=None,
     steal: bool = True,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Exact BC with stored predecessor arcs (Bader–Madduri).
 
@@ -39,7 +40,9 @@ def preds_bc(
     batch); composed with ``workers`` the batches fan out over the
     execution backend named by ``backend`` (threads / processes /
     serial, host default when unset — :mod:`repro.parallel.backends`;
-    ``steal`` toggles work stealing).
+    ``steal`` toggles work stealing).  ``kernel`` names the compute
+    kernel for the batched traversals (:mod:`repro.graph.kernels`)
+    and implies ``batch_size="auto"`` when none is set.
     """
     return run_per_source(
         graph,
@@ -49,4 +52,5 @@ def preds_bc(
         batch_size=batch_size,
         steal=steal,
         backend=backend,
+        kernel=kernel,
     )

@@ -59,6 +59,11 @@ def environment_provenance(
         scipy_version: Optional[str] = scipy.__version__
     except ImportError:  # pragma: no cover - scipy absent in minimal envs
         scipy_version = None
+    from repro.graph.kernels import (
+        default_kernel_name,
+        get_kernel,
+        kernel_names,
+    )
     from repro.parallel.backends import (
         backend_names,
         default_backend_name,
@@ -78,6 +83,10 @@ def environment_provenance(
             name for name in backend_names() if get_backend(name).available()
         ],
         "backend_default": default_backend_name(),
+        "kernels_available": [
+            name for name in kernel_names() if get_kernel(name).available()
+        ],
+        "kernel_default": default_kernel_name(),
     }
     if workers is not None:
         info["workers"] = int(workers)

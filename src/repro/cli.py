@@ -131,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --batch-size auto unless one is given",
     )
     p_compute.add_argument(
+        "--kernel",
+        choices=("auto", "arcs", "spmm", "pull", "numba"),
+        default=None,
+        help="compute kernel for the batched traversals: pure-numpy "
+        "scatters, scipy sparse-matmul levels, direction-optimizing "
+        "push/pull, the optional compiled numba kernel, or 'auto' "
+        "(per-sub-graph structural selection, honours REPRO_KERNEL); "
+        "implies --batch-size auto unless one is given; an "
+        "unavailable kernel degrades to the default with a warning",
+    )
+    p_compute.add_argument(
         "--parallel-batched",
         action="store_true",
         help="run source batches on the persistent shared-memory "
@@ -370,6 +381,16 @@ def _cmd_compute(args) -> int:
             )
             return 2
         kwargs["batch_size"] = args.batch_size
+    if args.kernel is not None:
+        if args.algorithm not in batched_algos:
+            print(
+                f"repro-bc: error: --kernel is not supported by "
+                f"{args.algorithm!r} (use APGRE, serial, preds or "
+                f"batched)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["kernel"] = args.kernel
     cache_on = (
         args.cache or args.cache_dir is not None or args.delta is not None
     )
@@ -544,7 +565,31 @@ def _cmd_info(args) -> int:
     for lo, hi, count in buckets:
         label = f"{lo}" if hi == lo else f"{lo}-{hi}"
         print(f"  BCC size {label:>13s} : {count}")
+    _print_registries()
     return 0
+
+
+def _print_registries() -> None:
+    """Execution-backend and compute-kernel availability listings."""
+    from repro.graph.kernels import kernel_report
+    from repro.parallel.backends import backend_report
+
+    print("execution backends:")
+    for name, row in backend_report().items():
+        mark = "available" if row["available"] else "unavailable"
+        star = " (default)" if row["default"] else ""
+        line = f"  {name:<10s}: {mark}{star}"
+        if not row["available"] and row.get("reason"):
+            line += f" — {row['reason']}"
+        print(line)
+    print("compute kernels:")
+    for name, row in kernel_report().items():
+        mark = "available" if row["available"] else "unavailable"
+        star = " (default)" if row["default"] else ""
+        line = f"  {name:<10s}: {mark}{star} — {row['description']}"
+        if not row["available"] and row.get("reason"):
+            line += f" ({row['reason']})"
+        print(line)
 
 
 def _cmd_convert(args) -> int:

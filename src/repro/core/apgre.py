@@ -38,6 +38,7 @@ from repro.decompose.alphabeta import compute_alpha_beta
 from repro.decompose.partition import Partition, graph_partition
 from repro.errors import ExecutionError, ReproError
 from repro.graph.csr import CSRGraph
+from repro.parallel.batched_pool import merge_examined
 from repro.parallel.pool import get_worker_state, thread_map
 from repro.parallel.scheduler import lpt_order, task_cost
 from repro.parallel.supervisor import (
@@ -54,6 +55,20 @@ __all__ = ["apgre_bc", "apgre_bc_detailed"]
 # journals), shard ``s`` of sub-graph ``i`` lives at
 # ``(i + 1) * _SLOT_BASE + s`` — disjoint ranges, deterministic.
 _SLOT_BASE = 1_000_000
+
+
+def _counter_triple(tally: WorkCounter) -> Tuple[int, int, int]:
+    """One task's ``(edges, pulled, switches)`` engine commit row."""
+    return (tally.edges, tally.pulled, tally.switches)
+
+
+def _fold_tally(counter: WorkCounter, tally: WorkCounter) -> None:
+    """Fold a task-local tally's full split into the run counter."""
+    counter.add(tally.edges)
+    if tally.pulled:
+        counter.add_pulled(tally.pulled)
+    if tally.switches:
+        counter.add_switch(tally.switches)
 
 
 def _plan_of(sg, config: APGREConfig):
@@ -118,6 +133,7 @@ def _unit_scores(
             roots=roots,
             batch_size=config.batch_size,
             compress=config.compress,
+            kernel=config.kernel,
         )
     from repro.shard import shard_task_scores
 
@@ -186,6 +202,7 @@ def _subgraph_task(task: Tuple[int, int, int]) -> Tuple[int, np.ndarray]:
         roots=all_roots[lo:hi],
         batch_size=state.get("batch_size"),
         compress=state.get("compress", False),
+        kernel=state.get("kernel"),
     )
 
 
@@ -361,6 +378,7 @@ def apgre_bc_detailed(
             "eliminate_pendants": config.eliminate_pendants,
             "batch_size": config.batch_size,
             "compress": config.compress,
+            "kernel": config.kernel,
         }
         if config.backend is not None:
             from repro.parallel.backends import resolve_backend
@@ -399,6 +417,8 @@ def apgre_bc_detailed(
         timings.rest_bc = time.perf_counter() - t0
 
     stats.edges_traversed = counter.edges
+    stats.edges_pulled = counter.pulled
+    stats.kernel_switches = counter.switches
     return BCResult(scores=bc, stats=stats, health=health)
 
 
@@ -523,7 +543,7 @@ def _batched_pool_pass(
         local_counter = WorkCounter()
         if shard >= 0:
             local = _unit_scores(sg, shard, config, local_counter)
-            return sg.vertices, local, local_counter.edges
+            return sg.vertices, local, _counter_triple(local_counter)
         if config.eliminate_pendants:
             all_roots = sg.roots
         else:
@@ -536,8 +556,9 @@ def _batched_pool_pass(
             batch_size=config.batch_size or "auto",
             workers=config.workers,
             compress=config.compress,
+            kernel=config.kernel,
         )
-        return sg.vertices, local, local_counter.edges
+        return sg.vertices, local, _counter_triple(local_counter)
 
     try:
         total, edge_total, _ = contributions(
@@ -564,7 +585,7 @@ def _batched_pool_pass(
             bc[:] = brandes_bc(graph)
             return
     bc += total
-    counter.add(edge_total)
+    merge_examined(counter, edge_total)
 
 
 def _cached_pass(
@@ -703,9 +724,12 @@ def _serial_recompute(
         sg = subgraphs[index]
         tally = WorkCounter()
         local = _unit_scores(sg, shard, config, tally)
-        commit(upos, local, tally.edges)
+        # committed replay tallies are direction-blind totals, so a
+        # later replay reports the same examined count whatever kernel
+        # recomputed the entry
+        commit(upos, local, tally.examined)
         bc[sg.vertices] += local
-        counter.add(tally.edges)
+        _fold_tally(counter, tally)
 
 
 def _thread_recompute(
@@ -727,15 +751,15 @@ def _thread_recompute(
         sg = subgraphs[index]
         tally = WorkCounter()
         local = _unit_scores(sg, shard, config, tally)
-        return upos, local, tally.edges
+        return upos, local, tally
 
-    for upos, local, edges in thread_map(
+    for upos, local, tally in thread_map(
         run_one, miss_order, workers=config.workers
     ):
         sg = subgraphs[units[upos][0]]
-        commit(upos, local, edges)
+        commit(upos, local, tally.examined)
         bc[sg.vertices] += local
-        counter.add(edges)
+        _fold_tally(counter, tally)
 
 
 def _pool_recompute(
@@ -785,7 +809,7 @@ def _pool_recompute(
         else:
             local = _unit_scores(sg, shard, config, tally, lo, hi)
         verts = np.arange(offsets[mi], offsets[mi] + sg.num_vertices)
-        return verts, local, tally.edges
+        return verts, local, _counter_triple(tally)
 
     supervisor = SupervisorConfig(
         timeout=config.timeout,
@@ -801,7 +825,9 @@ def _pool_recompute(
         config=supervisor,
         health=health,
     )
-    counter.add(edge_total)
+    merge_examined(counter, edge_total)
+    # batch_edges carries per-batch examined TOTALS (push + pull), so
+    # the committed per-unit replay tallies are direction-blind
     per_unit_edges = np.zeros(len(miss_units), dtype=np.int64)
     for task_id, (mi, _lo, _hi) in enumerate(tasks):
         per_unit_edges[mi] += batch_edges[task_id]
@@ -950,6 +976,7 @@ def apgre_bc(
     resume: bool = False,
     shard: bool = False,
     shard_max_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Exact BC via APGRE — the convenience entry point.
 
@@ -974,7 +1001,9 @@ def apgre_bc(
     ``shard_max_size`` split over-threshold sub-graphs along vertex
     separators into independently scheduled shard tasks with exact
     boundary correction — see :mod:`repro.shard` and
-    docs/SHARDING.md).
+    docs/SHARDING.md; ``kernel`` names the compute kernel for the
+    batched traversals and implies ``batch_size="auto"`` — see
+    :mod:`repro.graph.kernels` and docs/KERNELS.md).
     """
     kwargs = dict(
         parallel=parallel,
@@ -994,6 +1023,7 @@ def apgre_bc(
         journal_dir=journal_dir,
         resume=resume,
         shard=shard,
+        kernel=kernel,
     )
     if threshold is not None:
         kwargs["threshold"] = threshold

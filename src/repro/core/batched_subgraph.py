@@ -148,6 +148,7 @@ def bc_subgraph_batched(
     batch_size: Union[int, str] = "auto",
     workers: int = 1,
     compress: bool = False,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph via the batched kernel.
 
@@ -161,6 +162,15 @@ def bc_subgraph_batched(
     structural compression kernel when any reduction rule fires (the
     shrunken core does not benefit from SpMM batching); trivial plans
     stay on the batched path.
+
+    ``kernel`` picks the *forward traversal* strategy
+    (:mod:`repro.graph.kernels`): ``"pull"`` (or ``"auto"`` resolving
+    to it for this sub-graph) swaps in the direction-optimizing BFS,
+    whose recorded per-level DAG arcs are identical to the push
+    kernel's, so the fused four-dependency backward sweep replays them
+    unchanged.  The other names keep the push forward — the sweep
+    needs recorded arcs, which the spmm/numba score kernels do not
+    produce (see docs/KERNELS.md).
     """
     if compress:
         from repro.compress import bc_subgraph_compressed, compression_plan
@@ -190,7 +200,18 @@ def bc_subgraph_batched(
             roots = np.arange(n, dtype=VERTEX_DTYPE)
     if roots.size == 0:
         return bc
-    batch = resolve_batch_size(batch_size, n, g.num_arcs, workers=workers)
+    if kernel is not None:
+        from repro.graph import kernels as _kernels
+
+        kernel = _kernels.resolve_kernel_name(kernel, graph=g)
+        if kernel != "pull":
+            # only the direction-optimizing kernel changes the forward
+            # sweep here; the four-dependency replay needs recorded
+            # DAG arcs, which spmm/numba do not produce
+            kernel = None
+    batch = resolve_batch_size(
+        batch_size, n, g.num_arcs, workers=workers, kernel=kernel
+    )
     if batch is None:
         raise AlgorithmError("bc_subgraph_batched needs a batch size")
 
@@ -202,9 +223,18 @@ def bc_subgraph_batched(
         srcs = np.asarray(roots[lo : lo + batch], dtype=np.int64)
         b = srcs.size
         rows0 = np.arange(b)
-        res = bfs_sigma_batched(g, srcs, keep_level_arcs=True)
+        res = bfs_sigma_batched(
+            g, srcs, keep_level_arcs=True, kernel=kernel
+        )
         if counter is not None:
             counter.add(res.edges_traversed)
+            if res.edges_pulled:
+                add_pulled = getattr(counter, "add_pulled", None)
+                (add_pulled or counter.add)(res.edges_pulled)
+            if res.direction_switches:
+                add_switch = getattr(counter, "add_switch", None)
+                if add_switch is not None:
+                    add_switch(res.direction_switches)
         dep = accumulate_four_dependencies_batched(
             res, alpha=alpha, beta=beta, is_art=is_art, counter=counter
         )

@@ -53,6 +53,7 @@ def bc_subgraph(
     roots: Optional[np.ndarray] = None,
     batch_size: Union[int, str, None] = None,
     compress: bool = False,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Local BC scores of one sub-graph (``BC_SGi`` of equation 7).
 
@@ -84,6 +85,11 @@ def bc_subgraph(
         the compressed kernel executes the plan (scores identical to
         float64 tolerance); trivial plans fall through to the plain
         per-source or batched kernel unchanged.
+    kernel:
+        Compute-kernel name for the batched path (forwarded to
+        :func:`~repro.core.batched_subgraph.bc_subgraph_batched`; see
+        docs/KERNELS.md).  Only meaningful with ``batch_size``; the
+        per-source loop ignores it.
 
     Returns
     -------
@@ -114,6 +120,7 @@ def bc_subgraph(
             counter=counter,
             roots=roots,
             batch_size=batch_size,
+            kernel=kernel,
         )
     g = sg.graph
     n = g.n

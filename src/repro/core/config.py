@@ -13,6 +13,7 @@ __all__ = ["APGREConfig"]
 _PARALLEL_MODES = ("serial", "processes", "threads")
 _AB_METHODS = ("auto", "bfs", "tree")
 _BACKENDS = ("auto", "serial", "threads", "processes")
+_KERNELS = ("auto", "arcs", "spmm", "pull", "numba")
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,18 @@ class APGREConfig:
     shard_max_size:
         Interior size ceiling per shard (vertices).  Only sub-graphs
         strictly larger than this are split.
+    kernel:
+        Compute kernel for the batched traversals
+        (:mod:`repro.graph.kernels`): ``"arcs"`` (pure numpy,
+        bit-identical to serial), ``"spmm"`` (scipy sparse-matmul
+        levels), ``"pull"`` (direction-optimizing push/pull),
+        ``"numba"`` (optional compiled per-source Brandes), or
+        ``"auto"`` (per-sub-graph selection from structural features).
+        ``None`` (default) defers to the ``REPRO_KERNEL`` environment
+        variable and then automatic selection.  Kernels run inside the
+        batched paths, so setting one implies ``batch_size="auto"``
+        when no batch size is set; requesting an unavailable kernel
+        degrades to the default with a ``RuntimeWarning``.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -165,8 +178,19 @@ class APGREConfig:
     resume: bool = False
     shard: bool = False
     shard_max_size: int = 2048
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.kernel is not None:
+            if self.kernel not in _KERNELS:
+                raise AlgorithmError(
+                    f"kernel must be one of {_KERNELS} or None, "
+                    f"got {self.kernel!r}"
+                )
+            if self.batch_size is None:
+                # kernels run inside the batched paths; auto is the
+                # only safe unattended batch width
+                object.__setattr__(self, "batch_size", "auto")
         if self.parallel not in _PARALLEL_MODES:
             raise AlgorithmError(
                 f"parallel must be one of {_PARALLEL_MODES}, "

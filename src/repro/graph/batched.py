@@ -63,6 +63,7 @@ __all__ = [
     "bfs_sigma_batched",
     "arc_segments",
     "accumulate_dependencies_batched",
+    "arcs_contributions",
     "batched_contributions",
     "batched_bc_scores",
     "spmm_available",
@@ -85,6 +86,11 @@ _BYTES_PER_ROW_ARC = 20
 # indptr + indices, counted for both directions (out + in).
 _CSR_BYTES_PER_VERTEX = 16
 _CSR_BYTES_PER_ARC = 16
+
+# Extra per-row working set of the direction-optimizing pull kernel:
+# the materialised unvisited candidate list (one flat index per still
+# -undiscovered vertex, int32/int64) plus its boolean masks.
+_PULL_BYTES_PER_ROW_VERTEX = 12
 
 
 def available_memory_bytes() -> int:
@@ -110,6 +116,7 @@ def auto_batch_size(
     max_batch: int = DEFAULT_MAX_BATCH,
     workers: int = 1,
     shared_csr: bool = False,
+    kernel: Optional[str] = None,
 ) -> int:
     """Pick a batch size whose ``(B, n)`` buffers stay RAM-safe.
 
@@ -128,17 +135,31 @@ def auto_batch_size(
     remainder divides by ``workers`` — the process model instead
     leaves per-worker duplication to the quartered headroom, which on
     arc-heavy graphs misprices what each thread may actually use.
+
+    ``kernel`` refines the model per compute kernel: ``"pull"`` needs
+    the CSR transpose resident for its bottom-up gathers — charged
+    *once* against the pooled budget exactly like ``shared_csr`` (the
+    transpose is process-wide shared structure, not per-row state) —
+    plus ~:data:`_PULL_BYTES_PER_ROW_VERTEX` bytes per row-vertex for
+    the materialised unvisited candidate list and its masks.  Other
+    kernel names (and ``None``) use the base model.
     """
     if n <= 0:
         return 1
     if available_bytes is None:
         available_bytes = available_memory_bytes()
     budget = min(available_bytes // 4, 2 << 30)
+    csr = _CSR_BYTES_PER_VERTEX * n + _CSR_BYTES_PER_ARC * max(m, 1)
     if shared_csr:
-        csr = _CSR_BYTES_PER_VERTEX * n + _CSR_BYTES_PER_ARC * max(m, 1)
+        budget = max(budget - csr, 0)
+    if kernel == "pull":
+        # the transpose CSR is shared across all rows and workers:
+        # charge it once, before the per-worker split below
         budget = max(budget - csr, 0)
     budget //= max(int(workers), 1)
     per_row = _BYTES_PER_ROW_VERTEX * n + _BYTES_PER_ROW_ARC * max(m, 1)
+    if kernel == "pull":
+        per_row += _PULL_BYTES_PER_ROW_VERTEX * n
     return int(max(1, min(budget // per_row, max_batch)))
 
 
@@ -149,22 +170,25 @@ def resolve_batch_size(
     *,
     workers: int = 1,
     shared_csr: bool = False,
+    kernel: Optional[str] = None,
 ) -> Optional[int]:
     """Normalise a ``batch_size`` option to an int (or ``None``).
 
     ``None`` means "per-source path" and passes through; ``"auto"``
     resolves via :func:`auto_batch_size` for the given graph size, the
-    number of concurrent ``workers`` sharing the RAM budget, and the
-    backend's address-space model (``shared_csr`` — see
-    :func:`auto_batch_size`); a positive int is validated and returned
-    as-is (an explicit size is the caller's statement that it fits).
+    number of concurrent ``workers`` sharing the RAM budget, the
+    backend's address-space model (``shared_csr``), and the compute
+    ``kernel``'s extra working set (see :func:`auto_batch_size`); a
+    positive int is validated and returned as-is (an explicit size is
+    the caller's statement that it fits).
     """
     if batch_size is None:
         return None
     if isinstance(batch_size, str):
         if batch_size == "auto":
             return auto_batch_size(
-                n, m, workers=workers, shared_csr=shared_csr
+                n, m, workers=workers, shared_csr=shared_csr,
+                kernel=kernel,
             )
         raise AlgorithmError(
             f"batch_size must be 'auto', a positive int or None, "
@@ -246,8 +270,17 @@ class BatchedBFSResult:
         as flattened ``(row * n + src, row * n + dst)`` index pairs —
         ready to replay against flattened ``(B, n)`` matrices.
     edges_traversed:
-        Arcs examined, summed over the batch; equals the sum of the
-        serial per-source tallies.
+        Arcs examined top-down (push), summed over the batch.  For the
+        push-only kernels this equals the sum of the serial per-source
+        tallies; for the direction-optimizing kernel the true examined
+        total is ``edges_traversed + edges_pulled``.
+    edges_pulled:
+        Arcs examined bottom-up (pull) by the direction-optimizing
+        kernel — real memory traffic, inside TEPS.  Zero for push-only
+        kernels.
+    direction_switches:
+        Push↔pull direction flips taken by the direction-optimizing
+        kernel — heuristic bookkeeping, *outside* TEPS.
     """
 
     sources: np.ndarray
@@ -255,6 +288,8 @@ class BatchedBFSResult:
     sigma: np.ndarray
     level_arcs: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
     edges_traversed: int = 0
+    edges_pulled: int = 0
+    direction_switches: int = 0
 
     @property
     def batch(self) -> int:
@@ -277,6 +312,7 @@ def bfs_sigma_batched(
     *,
     keep_level_arcs: bool = False,
     workspace: Optional[BatchWorkspace] = None,
+    kernel: Optional[str] = None,
 ) -> BatchedBFSResult:
     """Forward BFS with σ counting for a whole batch of sources.
 
@@ -290,7 +326,33 @@ def bfs_sigma_batched(
     the workspace's reusable buffers (re-initialised here exactly as
     fresh allocations would be); the returned result then only stays
     valid until the workspace's next use.
+
+    ``kernel`` selects the forward traversal: ``None`` or ``"arcs"``
+    (and ``"spmm"``/``"numba"``, whose forward phase is this push
+    step) run the top-down body below with *no* environment lookup —
+    this is the low-level primitive; ``"pull"`` delegates to the
+    direction-optimizing
+    :func:`repro.graph.kernels.pull.bfs_sigma_batched_pull`, and
+    ``"auto"`` resolves through the kernel registry for this graph and
+    batch first.
     """
+    if kernel is not None and kernel not in ("arcs", "spmm", "numba"):
+        from repro.graph import kernels as _kernels
+
+        if kernel == "auto":
+            srcs = np.asarray(sources, dtype=np.int64).ravel()
+            kernel = _kernels.select_kernel(graph, srcs.size)
+        if kernel == "pull":
+            from repro.graph.kernels.pull import bfs_sigma_batched_pull
+
+            return bfs_sigma_batched_pull(
+                graph,
+                sources,
+                keep_level_arcs=keep_level_arcs,
+                workspace=workspace,
+            )
+        if kernel not in ("arcs", "spmm", "numba"):
+            _kernels.get_kernel(kernel)  # raises with the known names
     n = graph.n
     srcs = np.asarray(sources, dtype=np.int64).ravel()
     b = srcs.size
@@ -647,6 +709,34 @@ def spmm_contributions(
     return delta2.sum(axis=0)
 
 
+def arcs_contributions(
+    graph: CSRGraph,
+    sources,
+    *,
+    counter=None,
+    workspace: Optional[BatchWorkspace] = None,
+    context=None,
+) -> np.ndarray:
+    """Summed BC contributions of one batch via the ``"arcs"`` kernel.
+
+    Pure-numpy push BFS + recorded-DAG backward replay; per-row bit
+    -identical to the serial per-source path, tally included.
+    ``context`` is accepted for kernel-signature uniformity (the arcs
+    kernel needs no prepared operands).
+    """
+    srcs = np.asarray(sources, dtype=np.int64).ravel()
+    res = bfs_sigma_batched(
+        graph, srcs, keep_level_arcs=True, workspace=workspace
+    )
+    if counter is not None:
+        counter.add(res.edges_traversed)
+    delta = accumulate_dependencies_batched(
+        res, counter=counter, workspace=workspace
+    )
+    delta[np.arange(srcs.size), srcs] = 0.0
+    return delta.sum(axis=0)
+
+
 def batched_contributions(
     graph: CSRGraph,
     sources,
@@ -661,31 +751,24 @@ def batched_contributions(
     zeroed, rows summed — the batched equivalent of accumulating
     ``per_source_delta(graph, s, mode="arcs")`` over the batch.
 
-    ``kernel`` picks the implementation: ``"spmm"`` (scipy sparse
-    matmul levels), ``"arcs"`` (pure-numpy flattened scatters, per-row
-    bit-identical to serial), or ``None`` to use SpMM whenever scipy
-    is available.  Both produce the serial examined-edge tally.  The
-    returned ``(n,)`` sum never aliases ``workspace``.
+    ``kernel`` names any registered compute kernel
+    (:mod:`repro.graph.kernels`): ``"arcs"``, ``"spmm"``, ``"pull"``,
+    ``"numba"``, or ``"auto"`` to select from the graph's structure;
+    ``None`` resolves through the registry too (``REPRO_KERNEL``,
+    then the availability default).  Every kernel produces the exact
+    examined-edge tally.  The returned ``(n,)`` sum never aliases
+    ``workspace``.
     """
-    if kernel is None:
-        kernel = "spmm" if spmm_available() else "arcs"
-    if kernel == "spmm":
-        return spmm_contributions(
-            graph, sources, counter=counter, workspace=workspace
-        )
-    if kernel != "arcs":
-        raise AlgorithmError(f"unknown batched kernel {kernel!r}")
+    from repro.graph import kernels as _kernels
+
     srcs = np.asarray(sources, dtype=np.int64).ravel()
-    res = bfs_sigma_batched(
-        graph, srcs, keep_level_arcs=True, workspace=workspace
+    name = _kernels.resolve_kernel_name(
+        kernel, graph=graph, batch=srcs.size
     )
-    if counter is not None:
-        counter.add(res.edges_traversed)
-    delta = accumulate_dependencies_batched(
-        res, counter=counter, workspace=workspace
+    kern = _kernels.get_kernel(name)
+    return kern.contributions(
+        graph, srcs, counter=counter, workspace=workspace, context=None
     )
-    delta[np.arange(srcs.size), srcs] = 0.0
-    return delta.sum(axis=0)
 
 
 def batched_bc_scores(
@@ -700,35 +783,35 @@ def batched_bc_scores(
     """BC contribution sum over ``sources``, ``batch`` roots at a time.
 
     The chunk loop behind ``run_per_source(..., batch_size=...)``:
-    shares one set of SpMM operands (A, Aᵀ, degree arrays) and one
-    reusable :class:`BatchWorkspace` across all chunks so per-chunk
-    setup and state allocation are amortised over the whole run.
+    resolves ``kernel`` through :mod:`repro.graph.kernels` once, then
+    shares the kernel's prepared context (SpMM operands, compiled
+    numba function, ...) and one reusable :class:`BatchWorkspace`
+    across all chunks so per-chunk setup and state allocation are
+    amortised over the whole run.
     """
+    from repro.graph import kernels as _kernels
+
     src_arr = np.asarray(list(sources), dtype=np.int64).ravel()
     bc = np.zeros(graph.n, dtype=SCORE_DTYPE)
     if src_arr.size == 0:
         return bc
-    if kernel is None:
-        kernel = "spmm" if spmm_available() else "arcs"
+    name = _kernels.resolve_kernel_name(
+        kernel, graph=graph, batch=min(batch, src_arr.size)
+    )
+    kern = _kernels.get_kernel(name)
+    ctx = (
+        kern.prepare(graph, min(batch, src_arr.size))
+        if kern.prepare is not None
+        else None
+    )
     if workspace is None:
         workspace = BatchWorkspace()
-    if kernel == "spmm":
-        ops = _spmm_operands_for(graph, min(batch, src_arr.size))
-        for lo in range(0, src_arr.size, batch):
-            bc += spmm_contributions(
-                graph,
-                src_arr[lo : lo + batch],
-                counter=counter,
-                operands=ops,
-                workspace=workspace,
-            )
-        return bc
     for lo in range(0, src_arr.size, batch):
-        bc += batched_contributions(
+        bc += kern.contributions(
             graph,
             src_arr[lo : lo + batch],
             counter=counter,
-            kernel=kernel,
             workspace=workspace,
+            context=ctx,
         )
     return bc

@@ -1,0 +1,173 @@
+"""Optional numba ``@njit(nogil=True)`` per-source Brandes kernel.
+
+A compiled CSR Brandes loop: no ``(B, n)`` matrices, no per-level
+numpy dispatch — each source runs start to finish in machine code with
+the GIL released, so the threads backend can overlap whole batches of
+it.  numba is strictly optional: the probe is a lazy import that
+degrades to a clean miss (the cache's disk-layer policy), the module
+imports fine without it, and ``kernel="auto"`` never selects it when
+absent.
+
+Exactness: σ sums are integral (exact in float64), the dependency
+recursion replays exactly the recorded shortest-path-DAG arcs in
+reverse discovery order (the classic Brandes stack), and the examined
+-arc tally is identical to the serial ``"arcs"`` path — forward
+probes are each popped vertex's out-degree, backward probes are the
+DAG arc replays.  Scores differ from the batched kernels only in
+float association (≤1e-9).
+
+``NUMBA_PARALLEL`` feeds ``@njit(parallel=...)``; it defaults to
+``False`` because the exact per-arc accumulation order (and thus
+bit-level reproducibility of a serial rerun) is part of this repo's
+testing contract — the threads backend supplies the multicore axis
+instead, batches fanned out over ``nogil`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.types import SCORE_DTYPE
+
+__all__ = [
+    "NUMBA_PARALLEL",
+    "numba_available",
+    "numba_unavailable_reason",
+    "prepare_numba",
+    "numba_contributions",
+]
+
+NUMBA_PARALLEL = False
+
+# lazy probe state: fn is the compiled kernel once built, err the
+# reason it cannot be (import failure or jit failure)
+_STATE = {"fn": None, "err": None}
+
+
+def _build():
+    """Import numba and compile the kernel (raises on any failure)."""
+    from numba import njit
+
+    @njit(nogil=True, parallel=NUMBA_PARALLEL, cache=False)
+    def _brandes_batch(indptr, indices, srcs, n):
+        bc = np.zeros(n, dtype=np.float64)
+        dist = np.empty(n, dtype=np.int32)
+        sigma = np.empty(n, dtype=np.float64)
+        delta = np.empty(n, dtype=np.float64)
+        order = np.empty(n, dtype=np.int64)
+        m = indices.size
+        arc_src = np.empty(m, dtype=np.int64)
+        arc_dst = np.empty(m, dtype=np.int64)
+        edges = np.int64(0)
+        for si in range(srcs.size):
+            s = srcs[si]
+            for v in range(n):
+                dist[v] = -1
+                sigma[v] = 0.0
+                delta[v] = 0.0
+            dist[s] = 0
+            sigma[s] = 1.0
+            order[0] = s
+            head = 0
+            tail = 1
+            n_arcs = 0
+            while head < tail:
+                u = order[head]
+                head += 1
+                du = dist[u]
+                edges += indptr[u + 1] - indptr[u]
+                for p in range(indptr[u], indptr[u + 1]):
+                    w = indices[p]
+                    if dist[w] < 0:
+                        dist[w] = du + 1
+                        order[tail] = w
+                        tail += 1
+                    if dist[w] == du + 1:
+                        sigma[w] += sigma[u]
+                        arc_src[n_arcs] = u
+                        arc_dst[n_arcs] = w
+                        n_arcs += 1
+            # DAG arcs were recorded in discovery (level-ascending)
+            # order; replaying them reversed is the Brandes stack
+            edges += n_arcs
+            for a in range(n_arcs - 1, -1, -1):
+                u = arc_src[a]
+                w = arc_dst[a]
+                delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w])
+            for v in range(n):
+                if v != s:
+                    bc[v] += delta[v]
+        return bc, edges
+
+    # force compilation now so availability is a truthful promise
+    one = np.zeros(2, dtype=np.int64)
+    _brandes_batch(
+        np.array([0, 1, 2], dtype=np.int64),
+        np.array([1, 0], dtype=np.int64),
+        one[:1],
+        2,
+    )
+    return _brandes_batch
+
+
+def numba_available() -> bool:
+    """Lazy capability probe: import + jit exactly once, cache both."""
+    if _STATE["fn"] is not None:
+        return True
+    if _STATE["err"] is not None:
+        return False
+    try:
+        _STATE["fn"] = _build()
+    except Exception as exc:  # clean miss: ImportError or jit failure
+        _STATE["err"] = f"{type(exc).__name__}: {exc}"
+        return False
+    return True
+
+
+def numba_unavailable_reason() -> Optional[str]:
+    """Why the probe failed (``None`` when available / not yet probed)."""
+    return _STATE["err"]
+
+
+def prepare_numba(graph: CSRGraph, batch: int):
+    """Per-run context: the compiled kernel + int64 CSR views."""
+    if not numba_available():
+        raise AlgorithmError(
+            f"the numba kernel is unavailable ({_STATE['err']}); "
+            f"use kernel='auto'"
+        )
+    return (
+        _STATE["fn"],
+        graph.out_indptr.astype(np.int64, copy=False),
+        graph.out_indices.astype(np.int64, copy=False),
+    )
+
+
+def numba_contributions(
+    graph: CSRGraph,
+    sources,
+    *,
+    counter=None,
+    workspace=None,
+    context=None,
+) -> np.ndarray:
+    """Summed BC contributions of one batch via the compiled kernel.
+
+    ``workspace`` is accepted for signature uniformity (the compiled
+    loop owns its scratch); ``context`` reuses :func:`prepare_numba`
+    output across chunks.
+    """
+    if context is None:
+        context = prepare_numba(graph, 0)
+    fn, indptr, indices = context
+    srcs = np.asarray(sources, dtype=np.int64).ravel()
+    if srcs.size == 0:
+        raise AlgorithmError("batched BFS needs at least one source")
+    bc, edges = fn(indptr, indices, srcs, graph.n)
+    if counter is not None:
+        counter.add(int(edges))
+    return bc.astype(SCORE_DTYPE, copy=False)

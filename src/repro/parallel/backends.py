@@ -61,6 +61,7 @@ __all__ = [
     "ExecutionBackend",
     "register_backend",
     "backend_names",
+    "backend_report",
     "get_backend",
     "default_backend_name",
     "resolve_backend",
@@ -200,6 +201,20 @@ def default_backend_name() -> str:
         if backend is not None and backend.available():
             return name
     return "serial"
+
+
+def backend_report() -> Dict[str, Dict[str, object]]:
+    """Probe results for every registered engine (CLI / provenance)."""
+    report: Dict[str, Dict[str, object]] = {}
+    default = default_backend_name()
+    for name, backend in _REGISTRY.items():
+        ok = backend.available()
+        report[name] = {
+            "available": ok,
+            "default": name == default,
+            "reason": None if ok else backend.unavailable_reason,
+        }
+    return report
 
 
 def resolve_backend(name: Optional[str] = None) -> ExecutionBackend:

@@ -51,16 +51,16 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ExecutionError, TaskTimeoutError, WorkerCrashError
-from repro.graph.batched import (
-    BatchWorkspace,
-    _spmm_operands_for,
-    batched_contributions,
-    spmm_available,
-    spmm_contributions,
-)
+from repro.graph.batched import BatchWorkspace
 from repro.graph.csr import CSRGraph
 from repro.parallel import faults as _faults
-from repro.parallel.batched_pool import _EdgeTally, tree_reduce
+from repro.parallel.batched_pool import (
+    EngineTotals,
+    _EdgeTally,
+    _tally3,
+    merge_examined,
+    tree_reduce,
+)
 from repro.parallel.scheduler import assign_lpt, lpt_order
 from repro.parallel.supervisor import (
     RunHealth,
@@ -127,8 +127,10 @@ class _ThreadRun:
         self.stop = threading.Event()
         self.pending: List[_ThreadTask] = list(tasks)  # LPT order
         self.remaining = len(tasks)
+        # per-batch (edges, pulled, switches) tally rows, written by
+        # idempotent assignment (compute is deterministic)
         self.batch_edges = np.zeros(
-            max(t.batch for t in tasks) + 1, dtype=np.int64
+            (max(t.batch for t in tasks) + 1, 3), dtype=np.int64
         )
         self.rows: List[np.ndarray] = []
         self.threads: List[threading.Thread] = []
@@ -189,7 +191,7 @@ class _ThreadRun:
                     return False
                 task.done = True
                 task.deadline = None
-                self.batch_edges[task.batch] = int(edges)
+                self.batch_edges[task.batch] = _tally3(edges)
                 self.remaining -= 1
             if verts is None:
                 np.add(row, delta, out=row)
@@ -269,7 +271,7 @@ class _ThreadRun:
         with self.lock:
             task.done = True
             task.deadline = None
-            self.batch_edges[task.batch] = int(edges)
+            self.batch_edges[task.batch] = _tally3(edges)
             self.remaining -= 1
         if verts is None:
             extra += delta
@@ -496,22 +498,28 @@ def threaded_contributions(
     health.tasks += num
     total = np.zeros(n, dtype=SCORE_DTYPE)
     if num == 0:
-        return total, 0, np.zeros(0, dtype=np.int64)
+        return total, EngineTotals(0), np.zeros(0, dtype=np.int64)
     if workers <= 1 or num == 1:
         health.inline = True
-        batch_edges = np.zeros(num, dtype=np.int64)
+        split = np.zeros((num, 3), dtype=np.int64)
         for batch_id in range(num):
             verts, delta, edges = compute(batch_id)
             if verts is None:
                 total += delta
             else:
                 total[verts] += delta
-            batch_edges[batch_id] = int(edges)
+            split[batch_id] = _tally3(edges)
             health.outcomes.append(
                 TaskOutcome(task=batch_id, attempts=1, status="ok-pool",
                             events=["inline"])
             )
-        return total, int(batch_edges.sum()), batch_edges
+        batch_edges = split[:, 0] + split[:, 1]
+        edge_total = EngineTotals(
+            batch_edges.sum(dtype=np.int64),
+            pulled=split[:, 1].sum(dtype=np.int64),
+            switches=split[:, 2].sum(dtype=np.int64),
+        )
+        return total, edge_total, batch_edges
 
     workers = min(workers, num)
     order = lpt_order(weights)
@@ -532,8 +540,14 @@ def threaded_contributions(
         run.spawn(wid)
     run.supervise(extra)
     total = tree_reduce(run.rows + [extra])
-    batch_edges = run.batch_edges[:num].copy()
-    return total, int(batch_edges.sum(dtype=np.int64)), batch_edges
+    split = run.batch_edges[:num].copy()
+    batch_edges = split[:, 0] + split[:, 1]
+    edge_total = EngineTotals(
+        batch_edges.sum(dtype=np.int64),
+        pulled=split[:, 1].sum(dtype=np.int64),
+        switches=split[:, 2].sum(dtype=np.int64),
+    )
+    return total, edge_total, batch_edges
 
 
 def threaded_bc_scores(
@@ -567,6 +581,8 @@ def threaded_bc_scores(
     chunk; otherwise supervision follows ``config`` with events
     tallied into ``health``.
     """
+    from repro.graph import kernels as _kernels
+
     srcs = np.asarray(list(sources), dtype=np.int64).ravel()
     if srcs.size == 0:
         return np.zeros(graph.n, dtype=SCORE_DTYPE)
@@ -574,8 +590,10 @@ def threaded_bc_scores(
         raise ValueError(f"batch must be >= 1, got {batch}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if kernel is None:
-        kernel = "spmm" if spmm_available() else "arcs"
+    kernel = _kernels.resolve_kernel_name(
+        kernel, graph=graph, batch=min(batch, srcs.size)
+    )
+    kern = _kernels.get_kernel(kernel)
     bounds = [
         (lo, min(lo + batch, srcs.size))
         for lo in range(0, srcs.size, batch)
@@ -595,9 +613,12 @@ def threaded_bc_scores(
             graph, srcs, batch=batch, counter=counter, kernel=kernel
         )
 
-    ops = (
-        _spmm_operands_for(graph, min(batch, srcs.size))
-        if kernel == "spmm"
+    # per-run shared context (SpMM operands, compiled kernels) built
+    # once in the parent: threads share the address space, so every
+    # worker reads the same structures concurrently
+    ctx = (
+        kern.prepare(graph, min(batch, srcs.size))
+        if kern.prepare is not None
         else None
     )
     tls = threading.local()
@@ -616,15 +637,10 @@ def threaded_bc_scores(
             tls.flip = 0
         ws = pair[tls.flip]
         tls.flip ^= 1
-        if kernel == "spmm":
-            delta = spmm_contributions(
-                graph, chunk, counter=tally, operands=ops, workspace=ws
-            )
-        else:
-            delta = batched_contributions(
-                graph, chunk, counter=tally, kernel=kernel, workspace=ws
-            )
-        return None, delta, tally.edges
+        delta = kern.contributions(
+            graph, chunk, counter=tally, workspace=ws, context=ctx
+        )
+        return None, delta, tally.triple
 
     weights = [float(hi - lo) for lo, hi in bounds]
     total, edge_total, _ = threaded_contributions(
@@ -637,6 +653,5 @@ def threaded_bc_scores(
         health=health,
         fuse=fuse,
     )
-    if counter is not None:
-        counter.add(edge_total)
+    merge_examined(counter, edge_total)
     return total

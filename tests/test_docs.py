@@ -41,6 +41,7 @@ class TestReadmePromises:
             "docs/ALGORITHM.md",
             "docs/API.md",
             "docs/CACHING.md",
+            "docs/KERNELS.md",
             "docs/PERFORMANCE.md",
             "docs/ROBUSTNESS.md",
             "docs/SHARDING.md",
@@ -178,6 +179,82 @@ class TestShardingDoc:
         for field in ("shards_created", "separator_vertices",
                       "edges_correction", "largest_shard_ratio"):
             assert hasattr(stats, field), field
+
+
+class TestKernelsDoc:
+    """KERNELS.md promises a kernel-dispatch contract; pin the
+    structural claims so the doc cannot drift from the code."""
+
+    def text(self):
+        return (ROOT / "docs" / "KERNELS.md").read_text()
+
+    def test_structural_claims_present(self):
+        text = self.text()
+        for claim in (
+            "Composition matrix",
+            "PULL_ALPHA = 0.7",
+            "frontier_arcs > PULL_ALPHA * unvisited_arcs",
+            "edges_traversed + edges_pulled == examined arcs",
+            "outside** TEPS",
+            "REPRO_KERNEL",
+            "selects an unavailable kernel",
+        ):
+            assert claim in text, claim
+
+    def test_named_surfaces_exist(self):
+        """Every API surface the doc names must resolve."""
+        from repro.graph.kernels import (  # noqa: F401 - named in doc
+            KERNEL_ENV_VAR,
+            KernelFeatures,
+            default_kernel_name,
+            kernel_names,
+            kernel_report,
+            register_kernel,
+            resolve_kernel_name,
+            select_kernel,
+        )
+        from repro.graph.kernels.pull import (  # noqa: F401
+            PULL_ALPHA,
+            bfs_sigma_batched_pull,
+            pull_contributions,
+        )
+        from repro.graph.kernels.nogil import numba_available  # noqa: F401
+        from repro.core.config import APGREConfig
+
+        assert KERNEL_ENV_VAR == "REPRO_KERNEL"
+        assert PULL_ALPHA == 0.7
+        assert set(kernel_names()) == {"arcs", "spmm", "pull", "numba"}
+        assert APGREConfig(kernel="pull").kernel == "pull"
+
+    def test_cli_flags_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["compute", "g.txt", "--kernel", "pull"]
+        )
+        assert args.kernel == "pull"
+
+    def test_stats_split_fields_exist(self):
+        from repro.baselines.common import WorkCounter
+        from repro.core.result import APGREStats
+
+        stats = APGREStats()
+        for field in ("edges_pulled", "kernel_switches"):
+            assert hasattr(stats, field), field
+        counter = WorkCounter()
+        counter.add(3)
+        counter.add_pulled(2)
+        counter.add_switch()
+        assert counter.examined == 5
+        assert counter.switches == 1
+
+    def test_provenance_records_kernels(self):
+        from repro.bench.persistence import environment_provenance
+
+        info = environment_provenance()
+        assert "arcs" in info["kernels_available"]
+        assert info["kernel_default"] in info["kernels_available"]
 
 
 class TestDesignModuleMap:
