@@ -40,11 +40,21 @@ __all__ = [
     "apgre_bc_delta",
     "apply_edge_delta",
     "DeltaResult",
+    "parse_delta_file",
+    "parse_delta_lines",
 ]
+
+_INCREMENTAL_NAMES = (
+    "apgre_bc_delta",
+    "apply_edge_delta",
+    "DeltaResult",
+    "parse_delta_file",
+    "parse_delta_lines",
+)
 
 
 def __getattr__(name: str):
-    if name in ("apgre_bc_delta", "apply_edge_delta", "DeltaResult"):
+    if name in _INCREMENTAL_NAMES:
         from repro.cache import incremental
 
         return getattr(incremental, name)

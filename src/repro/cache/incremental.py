@@ -40,6 +40,7 @@ __all__ = [
     "apply_edge_delta",
     "apgre_bc_delta",
     "parse_delta_file",
+    "parse_delta_lines",
 ]
 
 
@@ -201,6 +202,46 @@ def apgre_bc_delta(
     return DeltaResult(graph=new_graph, result=result, store=store)
 
 
+def parse_delta_lines(
+    text: str, *, name: str = "<delta>"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse delta-file text into ``(edges_added, edges_removed)``.
+
+    The in-memory core of :func:`parse_delta_file`, shared with the
+    serving daemon whose ``POST /delta`` bodies arrive as text rather
+    than files. One operation per line: ``+ u v`` / ``add u v`` adds an
+    edge, ``- u v`` / ``remove u v`` removes one. Blank lines and ``#``
+    comments are skipped. Malformed lines raise
+    :class:`~repro.errors.GraphFormatError` naming ``name`` and the
+    line number.
+    """
+    ops = {"+": "add", "add": "add", "-": "remove", "remove": "remove"}
+    added, removed = [], []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op = ops.get(parts[0].lower())
+        if op is None or len(parts) != 3:
+            raise GraphFormatError(
+                f"{name}:{lineno}: expected '+|-|add|remove u v', "
+                f"got {raw.strip()!r}"
+            )
+        try:
+            u, v = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise GraphFormatError(
+                f"{name}:{lineno}: endpoints must be integers, "
+                f"got {raw.strip()!r}"
+            ) from None
+        (added if op == "add" else removed).append((u, v))
+    return (
+        np.asarray(added, dtype=np.int64).reshape(-1, 2),
+        np.asarray(removed, dtype=np.int64).reshape(-1, 2),
+    )
+
+
 def parse_delta_file(
     path: Union[str, Path]
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -212,32 +253,8 @@ def parse_delta_file(
     :class:`~repro.errors.GraphFormatError` naming the line number
     (the CLI turns that into a clean exit 2).
     """
-    ops = {"+": "add", "add": "add", "-": "remove", "remove": "remove"}
-    added, removed = [], []
     try:
         text = Path(path).read_text()
     except OSError as exc:
         raise GraphFormatError(f"cannot read delta file {path}: {exc}") from exc
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        op = ops.get(parts[0].lower())
-        if op is None or len(parts) != 3:
-            raise GraphFormatError(
-                f"{path}:{lineno}: expected '+|-|add|remove u v', "
-                f"got {raw.strip()!r}"
-            )
-        try:
-            u, v = int(parts[1]), int(parts[2])
-        except ValueError:
-            raise GraphFormatError(
-                f"{path}:{lineno}: endpoints must be integers, "
-                f"got {raw.strip()!r}"
-            ) from None
-        (added if op == "add" else removed).append((u, v))
-    return (
-        np.asarray(added, dtype=np.int64).reshape(-1, 2),
-        np.asarray(removed, dtype=np.int64).reshape(-1, 2),
-    )
+    return parse_delta_lines(text, name=str(path))

@@ -16,11 +16,19 @@ Every entry stores the local score vector **and** the exact
 examined-edge tally of the traversal that produced it, so a replayed
 entry reports its work as *replayed* edges — never as traversed — and
 ``WorkCounter``/TEPS accounting stays honest (docs/CACHING.md).
+
+The store is thread-safe: the in-memory LRU mutates an ``OrderedDict``
+on every ``get`` (recency bump) as well as on ``put``, so concurrent
+readers — the serving daemon (:mod:`repro.serve`) runs one handler
+thread per request against a single shared store — serialise on an
+internal lock.  Numpy work (the copy on ``put``, the ``.npz``
+round-trip of the disk layer) happens outside the lock.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 import zipfile
 from collections import OrderedDict
@@ -112,7 +120,8 @@ class ContributionStore:
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._bytes = 0
         self._disk_warned = False
-        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self.counters = CacheStats()
 
     # ------------------------------------------------------------------
     # mapping-ish surface
@@ -121,31 +130,37 @@ class ContributionStore:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries or self._disk_path(key) is not None
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self._disk_path(key) is not None
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are kept)."""
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     # ------------------------------------------------------------------
     # get / put
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[CacheEntry]:
         """Look a key up; memory first, then disk. ``None`` on miss."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.counters.hits += 1
+                return entry
         entry = self._load_disk(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._admit(key, entry)
-            return entry
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if entry is not None:
+                self.counters.hits += 1
+                self.counters.disk_hits += 1
+                self._admit(key, entry)
+                return entry
+            self.counters.misses += 1
+            return None
 
     def put(self, key: str, scores: np.ndarray, edges: int) -> CacheEntry:
         """Insert one contribution (overwrites any previous entry)."""
@@ -154,14 +169,15 @@ class ContributionStore:
         scores = np.array(scores, dtype=SCORE_DTYPE, copy=True)
         scores.flags.writeable = False
         entry = CacheEntry(scores=scores, edges=int(edges))
-        self.stats.puts += 1
-        self._admit(key, entry)
+        with self._lock:
+            self.counters.puts += 1
+            self._admit(key, entry)
         if self.cache_dir is not None:
             self._write_disk(key, entry)
         return entry
 
     # ------------------------------------------------------------------
-    # in-memory LRU
+    # in-memory LRU (callers hold self._lock)
     # ------------------------------------------------------------------
     def _admit(self, key: str, entry: CacheEntry) -> None:
         old = self._entries.pop(key, None)
@@ -177,7 +193,7 @@ class ContributionStore:
                 break  # a single oversized entry still gets served
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.scores.nbytes
-            self.stats.evictions += 1
+            self.counters.evictions += 1
 
     # ------------------------------------------------------------------
     # disk layer
@@ -200,7 +216,8 @@ class ContributionStore:
                 edges = int(bundle["edges"])
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
             # corrupted/truncated entry: a miss, not a failure
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.counters.disk_errors += 1
             try:
                 path.unlink()
             except OSError:
@@ -240,7 +257,8 @@ class ContributionStore:
                     fh.truncate(max(size // 2, 1))
             os.replace(tmp, final)
         except OSError as exc:
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.counters.disk_errors += 1
             try:
                 tmp.unlink()
             except OSError:
@@ -254,9 +272,25 @@ class ContributionStore:
                     stacklevel=3,
                 )
 
+    def stats(self) -> Dict:
+        """Hit/miss/eviction/size counters as one flat dict.
+
+        The public observability surface — the serving daemon's
+        ``/stats`` endpoint and BENCH_cache.json both embed this
+        verbatim.  Keys: ``hits``, ``misses``, ``puts``, ``evictions``,
+        ``disk_hits``, ``disk_errors``, ``entries_in_memory``,
+        ``bytes_in_memory``, ``cache_dir``.
+        """
+        with self._lock:
+            out: Dict = dict(self.counters.as_dict())
+            out["entries_in_memory"] = len(self._entries)
+            out["bytes_in_memory"] = self._bytes
+        out["cache_dir"] = str(self.cache_dir) if self.cache_dir else None
+        return out
+
     def summary(self) -> str:
         """One-line human-readable state (CLI/bench reporting)."""
-        s = self.stats
+        s = self.counters
         disk = (
             f", dir={self.cache_dir}" if self.cache_dir is not None else ""
         )
@@ -267,12 +301,8 @@ class ContributionStore:
         )
 
     def summary_dict(self) -> Dict:
-        """Machine-readable counters (embedded in BENCH_cache.json)."""
-        out: Dict = dict(self.stats.as_dict())
-        out["entries_in_memory"] = len(self._entries)
-        out["bytes_in_memory"] = self._bytes
-        out["cache_dir"] = str(self.cache_dir) if self.cache_dir else None
-        return out
+        """Alias of :meth:`stats` (older spelling, kept for callers)."""
+        return self.stats()
 
 
 # process-global default stores, keyed by resolved cache_dir ("" for

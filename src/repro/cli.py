@@ -18,14 +18,24 @@ Subcommands:
     their tables; honours ``REPRO_SCALE``/``REPRO_GRAPHS``.
 ``repro-bc suite``
     List the analogue workload suite with sizes at the current scale.
+``repro-bc serve GRAPH``
+    Long-lived warm-path serving daemon (docs/SERVING.md): the graph,
+    decomposition and caches stay resident; full/top-k/per-vertex BC
+    and streamed edge deltas over HTTP (TCP or ``--unix-socket``).
+``repro-bc query WHAT``
+    Client for a running daemon: ``health``/``stats``/``bc``/
+    ``vertex``/``delta``, printing the JSON response.
 ``repro-bc gc``
     List and remove shared-memory segments orphaned by ``kill -9``.
 
 The process is signal-aware: SIGTERM is handled like SIGINT (graceful
 drain — in-flight batches finish, the run journal is finalised as
 resumable, shared-memory segments are unlinked) and both exit with
-code 130.  Deliberate failures (:class:`repro.errors.ReproError`,
-including a journal fingerprint mismatch) exit with code 2.
+code 130.  ``repro-bc serve`` is the exception: a signalled daemon
+drains in-flight requests and exits **0** (a clean drain is that
+command's success path).  Deliberate failures
+(:class:`repro.errors.ReproError`, including a journal fingerprint
+mismatch) exit with code 2.
 """
 
 from __future__ import annotations
@@ -229,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_info.add_argument("graph", help="path to a graph file")
     p_info.add_argument("--directed", action="store_true")
+    p_info.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="machine-readable output (the same payload the serving "
+        "daemon's /stats embeds under 'registries')",
+    )
 
     p_conv = sub.add_parser(
         "convert", help="convert between graph file formats"
@@ -286,6 +303,172 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("suite", help="list the analogue workload suite")
     sub.add_parser("selftest", help="quick end-to-end installation check")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="warm-path BC serving daemon (graph stays resident)",
+    )
+    p_serve.add_argument("graph", help="path to a graph file")
+    p_serve.add_argument("--directed", action="store_true")
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--threshold", type=int, default=None, help="Algorithm-1 threshold"
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("auto", "serial", "threads", "processes"),
+        default=None,
+        help="default execution backend (requests may override via "
+        "?backend=)",
+    )
+    p_serve.add_argument(
+        "--kernel",
+        choices=("auto", "arcs", "spmm", "pull", "numba"),
+        default=None,
+        help="default compute kernel (requests may override via "
+        "?kernel=)",
+    )
+    p_serve.add_argument(
+        "--batch-size",
+        type=_parse_batch_size,
+        default=None,
+        metavar="N|auto",
+        help="default batch width for the multi-source kernel",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="default worker count"
+    )
+    p_serve.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="default work-stealing policy for pooled requests",
+    )
+    p_serve.add_argument(
+        "--compress",
+        action="store_true",
+        help="run requests through the compression ladder by default",
+    )
+    p_serve.add_argument(
+        "--shard",
+        action="store_true",
+        help="shard over-threshold sub-graphs by default",
+    )
+    p_serve.add_argument(
+        "--shard-max-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interior size ceiling per shard (implies --shard)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the contribution store (the /delta endpoint "
+        "then answers 409 — deltas need replay to be incremental)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist contribution-store entries under DIR",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-task budget for supervised execution",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N"
+    )
+    p_serve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail requests fast instead of degrading to serial",
+    )
+    p_serve.add_argument(
+        "--lru-entries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="score-LRU entry budget (materialised final vectors)",
+    )
+    p_serve.add_argument(
+        "--lru-bytes",
+        type=int,
+        default=512 * 1024 * 1024,
+        metavar="BYTES",
+        help="score-LRU byte budget (default 512 MiB)",
+    )
+    p_serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="per-request access log on stderr",
+    )
+
+    p_query = sub.add_parser(
+        "query", help="query a running repro-bc serve daemon"
+    )
+    p_query.add_argument(
+        "what",
+        choices=("health", "stats", "bc", "vertex", "delta"),
+        help="endpoint: /healthz, /stats, /bc, /vertex/<id>, /delta",
+    )
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, default=8321)
+    p_query.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="daemon's unix socket (instead of host/port)",
+    )
+    p_query.add_argument(
+        "--vertex", type=int, default=None, help="vertex id (what=vertex)"
+    )
+    p_query.add_argument(
+        "--top", type=int, default=None, help="top-k ranks (what=bc)"
+    )
+    p_query.add_argument(
+        "--full",
+        action="store_true",
+        help="full score vector instead of top-k (what=bc)",
+    )
+    p_query.add_argument(
+        "--delta-file",
+        default=None,
+        metavar="FILE",
+        help="edge-delta file to POST ('+ u v' / '- u v' per line; "
+        "what=delta)",
+    )
+    p_query.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra query parameter (repeatable): backend=threads, "
+        "kernel=pull, compress=1, fresh=1, version=3, ...",
+    )
+    p_query.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="client-side socket timeout",
+    )
 
     p_gc = sub.add_parser(
         "gc",
@@ -547,6 +730,16 @@ def _cmd_info(args) -> int:
     from repro.metrics.stats import bcc_size_histogram, graph_stats
 
     graph = load_graph(args.graph, directed=args.directed)
+    if args.as_json:
+        import json
+
+        from repro.introspect import info_payload
+
+        payload = info_payload(
+            graph, name=os.path.basename(args.graph), source=args.graph
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
     stats = graph_stats(graph, name=os.path.basename(args.graph))
     print(f"# {stats.name}")
     print(f"vertices             : {stats.num_vertices}")
@@ -730,6 +923,158 @@ def _cmd_suite(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.cache.store import ContributionStore
+    from repro.core.config import APGREConfig
+    from repro.io.registry import load_graph
+    from repro.serve.score_lru import ScoreLRU
+    from repro.serve.server import make_server
+
+    graph = load_graph(args.graph, directed=args.directed)
+    store = None
+    if args.no_cache:
+        if args.cache_dir is not None:
+            print(
+                "repro-bc: error: --no-cache and --cache-dir are "
+                "mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        store = ContributionStore(cache_dir=args.cache_dir)
+    cfg_kwargs = {
+        "workers": args.workers,
+        "steal": args.steal,
+        "max_retries": args.max_retries,
+        "fallback": not args.no_fallback,
+        "cache": store,
+    }
+    if args.threshold is not None:
+        cfg_kwargs["threshold"] = args.threshold
+    if args.backend is not None:
+        cfg_kwargs["backend"] = args.backend
+    if args.kernel is not None:
+        cfg_kwargs["kernel"] = args.kernel
+    if args.batch_size is not None:
+        cfg_kwargs["batch_size"] = args.batch_size
+    if args.compress:
+        cfg_kwargs["compress"] = True
+    if args.shard or args.shard_max_size is not None:
+        cfg_kwargs["shard"] = True
+        if args.shard_max_size is not None:
+            cfg_kwargs["shard_max_size"] = args.shard_max_size
+    if args.timeout is not None:
+        cfg_kwargs["timeout"] = args.timeout
+    base = APGREConfig(**cfg_kwargs)
+    lru = ScoreLRU(max_entries=args.lru_entries, max_bytes=args.lru_bytes)
+    server = make_server(
+        graph,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        base_config=base,
+        store=store,
+        lru=lru,
+        name=os.path.basename(args.graph),
+        source=args.graph,
+        verbose=args.verbose,
+    )
+    state = server.state
+    if args.unix_socket is not None:
+        address = f"unix:{args.unix_socket}"
+    else:
+        address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(
+        f"repro-bc serve: {args.graph} resident "
+        f"(n={graph.n}, arcs={graph.num_arcs}), version 1",
+        flush=True,
+    )
+    print(f"repro-bc serve: listening on {address}", flush=True)
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        state.draining = True
+        # shutdown() blocks until the accept loop notices; it must not
+        # run on the thread that is *inside* serve_forever
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        try:
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        except (ValueError, OSError):  # pragma: no cover - platforms
+            pass
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    served = sum(state.requests.values())
+    print(
+        f"repro-bc serve: drained cleanly ({served} request(s) served, "
+        f"final version {state.manager.version})",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    if args.unix_socket is not None:
+        client = ServeClient(
+            unix_socket=args.unix_socket, timeout=args.timeout
+        )
+    else:
+        client = ServeClient(
+            host=args.host, port=args.port, timeout=args.timeout
+        )
+    params = {}
+    for item in args.param:
+        if "=" not in item:
+            print(
+                f"repro-bc: error: --param expects KEY=VALUE, got "
+                f"{item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        key, value = item.split("=", 1)
+        params[key] = value
+    if args.top is not None:
+        params["top"] = args.top
+    if args.full:
+        params["full"] = True
+    if args.what == "health":
+        payload = client.healthz()
+    elif args.what == "stats":
+        payload = client.stats()
+    elif args.what == "bc":
+        payload = client.bc(**params)
+    elif args.what == "vertex":
+        if args.vertex is None:
+            print(
+                "repro-bc: error: query vertex needs --vertex ID",
+                file=sys.stderr,
+            )
+            return 2
+        payload = client.vertex(args.vertex, **params)
+    else:  # delta
+        if args.delta_file is None:
+            print(
+                "repro-bc: error: query delta needs --delta-file FILE",
+                file=sys.stderr,
+            )
+            return 2
+        from pathlib import Path
+
+        payload = client.delta(text=Path(args.delta_file).read_text())
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _sigterm_to_interrupt(signum, frame):  # pragma: no cover - signal
     raise KeyboardInterrupt
 
@@ -757,6 +1102,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "suite": _cmd_suite,
         "selftest": _cmd_selftest,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "gc": _cmd_gc,
     }
     from repro.errors import ReproError

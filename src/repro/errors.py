@@ -17,6 +17,7 @@ __all__ = [
     "BenchmarkError",
     "CacheError",
     "JournalError",
+    "ServeError",
     "ExecutionError",
     "WorkerCrashError",
     "TaskTimeoutError",
@@ -92,6 +93,22 @@ class JournalError(ReproError):
     validation drops the torn records and the affected sub-graphs are
     recomputed (docs/ROBUSTNESS.md).
     """
+
+
+class ServeError(ReproError):
+    """The serving daemon was misconfigured or received a bad request.
+
+    Raised by :mod:`repro.serve` for an unbindable address, malformed
+    request parameters, or a delta payload that cannot be applied.
+    Request-level instances carry an ``http_status`` attribute so the
+    HTTP layer can map them to 400/409/503 responses; failures of the
+    *computation* behind a request surface as the ordinary
+    :class:`ExecutionError` family instead.
+    """
+
+    def __init__(self, message: str, *, http_status: int = 400) -> None:
+        super().__init__(message)
+        self.http_status = int(http_status)
 
 
 class ExecutionError(ReproError):

@@ -1,0 +1,63 @@
+"""Warm-path BC serving: a long-lived daemon over the APGRE stack.
+
+The cold path pays process startup, graph parsing and BCC
+decomposition on every query; this package keeps all of it resident
+(docs/SERVING.md):
+
+* :mod:`repro.serve.snapshots` — versioned immutable graph snapshots
+  with reader pinning, advanced by streamed edge deltas;
+* :mod:`repro.serve.score_lru` — an LRU of assembled score vectors
+  keyed by (graph version, config fingerprint);
+* :mod:`repro.serve.protocol` — query-parameter parsing, per-request
+  :class:`~repro.core.config.APGREConfig` construction and the config
+  fingerprint;
+* :mod:`repro.serve.server` — the stdlib HTTP daemon (TCP or unix
+  socket) behind ``repro-bc serve``;
+* :mod:`repro.serve.client` — the stdlib client behind
+  ``repro-bc query``, the tests and ``benchmarks/bench_serving.py``.
+
+Heavy imports stay lazy (PEP 562): importing :mod:`repro.serve` must
+not drag numpy-adjacent machinery into processes that only want the
+client.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BCRequestHandler",
+    "RequestParams",
+    "ScoreLRU",
+    "ServeClient",
+    "ServerState",
+    "Snapshot",
+    "SnapshotManager",
+    "build_config",
+    "config_fingerprint",
+    "make_server",
+    "parse_delta_body",
+]
+
+_LAZY = {
+    "BCRequestHandler": "repro.serve.server",
+    "RequestParams": "repro.serve.protocol",
+    "ScoreLRU": "repro.serve.score_lru",
+    "ServeClient": "repro.serve.client",
+    "ServerState": "repro.serve.server",
+    "Snapshot": "repro.serve.snapshots",
+    "SnapshotManager": "repro.serve.snapshots",
+    "build_config": "repro.serve.protocol",
+    "config_fingerprint": "repro.serve.protocol",
+    "make_server": "repro.serve.server",
+    "parse_delta_body": "repro.serve.protocol",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

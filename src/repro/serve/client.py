@@ -1,0 +1,182 @@
+"""Stdlib client for the serving daemon (TCP or unix socket).
+
+:class:`ServeClient` is what ``repro-bc query``, the serving tests and
+``benchmarks/bench_serving.py`` all speak through — one tiny wrapper
+over :mod:`http.client` so the protocol has exactly one encoding of
+query parameters (bools as ``1``/``0``, everything else ``str()``-ed)
+on both sides of the wire.
+
+Each call opens a fresh connection (the daemon answers
+``Connection: close`` anyway), which also makes the client trivially
+thread-safe — the consistency tests hammer one client instance from
+many reader threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Optional, Tuple
+from urllib.parse import quote, urlencode
+
+from repro.errors import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float]) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+def _encode_params(params: Dict) -> str:
+    """Query-string encoding shared by every endpoint helper."""
+    pairs = []
+    for key, value in params.items():
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            pairs.append((key, "1" if value else "0"))
+        else:
+            pairs.append((key, str(value)))
+    return urlencode(pairs)
+
+
+class ServeClient:
+    """Talk to one daemon at a TCP ``(host, port)`` or unix socket."""
+
+    def __init__(
+        self,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_socket: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if unix_socket is not None:
+            if host is not None or port is not None:
+                raise ServeError(
+                    "pass either host/port or unix_socket, not both"
+                )
+        elif host is None or port is None:
+            raise ServeError(
+                "ServeClient needs host and port, or a unix_socket path"
+            )
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.timeout = timeout
+
+    @property
+    def address(self) -> str:
+        if self.unix_socket is not None:
+            return f"unix:{self.unix_socket}"
+        return f"http://{self.host}:{self.port}"
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.unix_socket is not None:
+            return _UnixHTTPConnection(self.unix_socket, self.timeout)
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        content_type: Optional[str] = None,
+    ) -> Dict:
+        """One round trip; JSON-decodes; raises ServeError on >= 400."""
+        conn = self._connection()
+        try:
+            headers = {}
+            if content_type is not None:
+                headers["Content-Type"] = content_type
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"request to {self.address}{path} failed: {exc}",
+                    http_status=503,
+                ) from exc
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"non-JSON response ({status}) from "
+                f"{self.address}{path}: {exc}",
+                http_status=502,
+            ) from exc
+        if status >= 400:
+            raise ServeError(
+                str(payload.get("error", f"HTTP {status}")),
+                http_status=status,
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # endpoint helpers
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self.request("GET", "/stats")
+
+    def bc(self, **params) -> Dict:
+        """``GET /bc`` — kwargs become query parameters verbatim."""
+        qs = _encode_params(params)
+        return self.request("GET", f"/bc?{qs}" if qs else "/bc")
+
+    def vertex(self, vertex: int, **params) -> Dict:
+        qs = _encode_params(params)
+        path = f"/vertex/{quote(str(int(vertex)))}"
+        return self.request("GET", f"{path}?{qs}" if qs else path)
+
+    def delta(
+        self,
+        *,
+        text: Optional[str] = None,
+        add: Optional[Tuple] = None,
+        remove: Optional[Tuple] = None,
+    ) -> Dict:
+        """``POST /delta`` as delta-file text or a JSON add/remove pair."""
+        if text is not None:
+            if add is not None or remove is not None:
+                raise ServeError(
+                    "pass either text or add/remove lists, not both"
+                )
+            return self.request(
+                "POST",
+                "/delta",
+                body=text.encode("utf-8"),
+                content_type="text/plain",
+            )
+        payload = {
+            "add": [[int(u), int(v)] for u, v in (add or [])],
+            "remove": [[int(u), int(v)] for u, v in (remove or [])],
+        }
+        return self.request(
+            "POST",
+            "/delta",
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+        )

@@ -1,0 +1,157 @@
+"""LRU of materialised full-graph score vectors, keyed by
+``(graph version, config fingerprint)``.
+
+One level above the :class:`~repro.cache.store.ContributionStore`:
+the store caches *per-sub-graph* contributions (so a delta recomputes
+only dirty BCCs), while this LRU caches the *assembled* final vector
+of a (version, config) pair — a repeat query skips decomposition,
+replay and assembly entirely and is served straight from memory.
+
+Entries are immutable (the arrays are marked read-only, like store
+entries) and carry the metadata of the run that produced them — the
+replay/traversal edge split and the producing request's health — so a
+cache hit can still answer ``/stats``-grade questions about where its
+numbers came from.  Eviction is plain LRU bounded by entry count and
+total score bytes; retiring a graph version purges its keys eagerly
+(:meth:`ScoreLRU.purge_version`) since no request can ever name it
+again.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.types import SCORE_DTYPE
+
+__all__ = ["ScoreEntry", "ScoreLRU"]
+
+#: Default budgets: a served graph rarely needs more than a handful of
+#: config variants per version; 64 vectors / 512 MB is roomy for the
+#: "few hot configs x few live versions" shape the daemon produces.
+_DEFAULT_MAX_ENTRIES = 64
+_DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class ScoreEntry:
+    """One materialised score vector plus its producing-run metadata."""
+
+    scores: np.ndarray
+    version: int
+    fingerprint: str
+    meta: Dict = field(default_factory=dict)
+
+
+class ScoreLRU:
+    """Bounded LRU of final score vectors for the serving daemon."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = _DEFAULT_MAX_ENTRIES,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_entries < 1:
+            raise ServeError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ServeError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Tuple[int, str], ScoreEntry]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.purged = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, version: int, fingerprint: str) -> Optional[ScoreEntry]:
+        """The entry for one (version, config) pair, or ``None``."""
+        key = (int(version), str(fingerprint))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        version: int,
+        fingerprint: str,
+        scores: np.ndarray,
+        meta: Optional[Dict] = None,
+    ) -> ScoreEntry:
+        """Admit one vector (copied, frozen); returns the entry."""
+        scores = np.array(scores, dtype=SCORE_DTYPE, copy=True)
+        scores.flags.writeable = False
+        entry = ScoreEntry(
+            scores=scores,
+            version=int(version),
+            fingerprint=str(fingerprint),
+            meta=dict(meta or {}),
+        )
+        key = (entry.version, entry.fingerprint)
+        with self._lock:
+            self.puts += 1
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.scores.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.scores.nbytes
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                if len(self._entries) == 1:
+                    break  # one oversized vector still gets served
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.scores.nbytes
+                self.evictions += 1
+        return entry
+
+    def purge_version(self, version: int) -> int:
+        """Drop every entry of a retired graph version; returns count."""
+        version = int(version)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == version]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self._bytes -= entry.scores.nbytes
+            self.purged += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict:
+        """Counters + occupancy as one flat dict (the ``/stats`` view)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "purged": self.purged,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }

@@ -100,7 +100,7 @@ class TestContributionStore:
         entry = store.get("k")
         assert entry.edges == 42
         np.testing.assert_array_equal(entry.scores, scores)
-        assert store.stats.hits == 1 and store.stats.puts == 1
+        assert store.counters.hits == 1 and store.counters.puts == 1
 
     def test_entries_are_insulated_from_caller(self):
         store = ContributionStore()
@@ -114,7 +114,7 @@ class TestContributionStore:
     def test_miss_counted(self):
         store = ContributionStore()
         assert store.get("absent") is None
-        assert store.stats.misses == 1
+        assert store.counters.misses == 1
 
     def test_lru_eviction_by_entries(self):
         store = ContributionStore(max_entries=2)
@@ -122,7 +122,7 @@ class TestContributionStore:
             store.put(f"k{i}", np.zeros(4), i)
         assert store.get("k0") is None  # oldest evicted
         assert store.get("k2") is not None
-        assert store.stats.evictions == 1
+        assert store.counters.evictions == 1
 
     def test_get_refreshes_recency(self):
         store = ContributionStore(max_entries=2)
@@ -140,7 +140,7 @@ class TestContributionStore:
         second = ContributionStore(cache_dir=d)
         entry = second.get("key")
         assert entry is not None and entry.edges == 17
-        assert second.stats.disk_hits == 1
+        assert second.counters.disk_hits == 1
 
     def test_corrupted_disk_entry_degrades_to_miss(self, tmp_path):
         d = tmp_path / "cache"
@@ -150,7 +150,7 @@ class TestContributionStore:
         for p in d.glob("*.npz"):
             p.write_bytes(b"not a zipfile")
         assert fresh.get("key") is None
-        assert fresh.stats.disk_errors == 1
+        assert fresh.counters.disk_errors == 1
 
     def test_resolve_store_semantics(self, tmp_path):
         assert resolve_store(False, None) is None
@@ -207,7 +207,7 @@ class TestWarmReplay:
         first = apgre_bc(bridged_graph, cache=store)
         second = apgre_bc(bridged_graph, cache=store)
         np.testing.assert_allclose(second, first, rtol=1e-9, atol=1e-9)
-        assert store.stats.hits > 0
+        assert store.counters.hits > 0
 
     def test_directed_graph_cached(self):
         g = from_networkx(
@@ -332,6 +332,39 @@ class TestIncrementalDelta:
         )
         assert delta.result.stats.edges_traversed == 0
 
+    def test_two_sequential_deltas_match_one_combined(self, bridged_graph):
+        # applying {e1} then {e2} must land on the same graph and the
+        # same exact scores as applying {e1, e2} at once — the serving
+        # daemon's streamed-delta path is the sequential side of this
+        first, second = (0, 10), (5, 14)
+        seq_store = ContributionStore()
+        config = APGREConfig(cache=seq_store)
+        apgre_bc_detailed(bridged_graph, config)
+        step1 = apgre_bc_delta(
+            bridged_graph, edges_added=[first],
+            cache=seq_store, config=config,
+        )
+        step2 = apgre_bc_delta(
+            step1.graph, edges_added=[second],
+            cache=seq_store, config=config,
+        )
+        comb_store = ContributionStore()
+        comb_config = APGREConfig(cache=comb_store)
+        apgre_bc_detailed(bridged_graph, comb_config)
+        combined = apgre_bc_delta(
+            bridged_graph, edges_added=[first, second],
+            cache=comb_store, config=comb_config,
+        )
+        assert graph_fingerprint(step2.graph) == graph_fingerprint(
+            combined.graph
+        )
+        np.testing.assert_allclose(
+            step2.scores, combined.scores, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            step2.scores, brandes_bc(step2.graph), rtol=1e-9, atol=1e-9
+        )
+
 
 class TestParseDeltaFile:
     def test_parse_ops_and_comments(self, tmp_path):
@@ -354,6 +387,48 @@ class TestParseDeltaFile:
         p.write_text("+ 0 x\n")
         with pytest.raises(GraphFormatError, match=r"d\.txt:1"):
             parse_delta_file(p)
+
+    def test_empty_file_is_empty_delta(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("")
+        added, removed = parse_delta_file(p)
+        assert added.shape == (0, 2) and removed.shape == (0, 2)
+        assert added.dtype == np.int64 and removed.dtype == np.int64
+
+    def test_comment_only_file_is_empty_delta(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("# nothing here\n   # indented comment\n\n")
+        added, removed = parse_delta_file(p)
+        assert added.shape == (0, 2) and removed.shape == (0, 2)
+
+    def test_missing_trailing_newline_parses(self, tmp_path):
+        p = tmp_path / "d.txt"
+        p.write_text("+ 0 3\n- 1 2")  # no final newline
+        added, removed = parse_delta_file(p)
+        np.testing.assert_array_equal(added, [[0, 3]])
+        np.testing.assert_array_equal(removed, [[1, 2]])
+
+    def test_duplicate_edge_kept_verbatim(self, tmp_path):
+        # the parser does not dedupe — apply_edge_delta's union does,
+        # so a feed that repeats an add stays an idempotent no-op
+        p = tmp_path / "d.txt"
+        p.write_text("+ 0 3\n+ 0 3\n+ 3 0\n")
+        added, removed = parse_delta_file(p)
+        np.testing.assert_array_equal(added, [[0, 3], [0, 3], [3, 0]])
+        assert removed.shape == (0, 2)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            parse_delta_file(tmp_path / "absent.txt")
+
+    def test_parse_delta_lines_shares_the_grammar(self):
+        from repro.cache.incremental import parse_delta_lines
+
+        added, removed = parse_delta_lines("+ 0 3\n- 1 2\n")
+        np.testing.assert_array_equal(added, [[0, 3]])
+        np.testing.assert_array_equal(removed, [[1, 2]])
+        with pytest.raises(GraphFormatError, match=r"<wire>:2"):
+            parse_delta_lines("+ 0 1\nbogus\n", name="<wire>")
 
 
 class TestDiskWarmAcrossRuns:

@@ -44,6 +44,7 @@ class TestReadmePromises:
             "docs/KERNELS.md",
             "docs/PERFORMANCE.md",
             "docs/ROBUSTNESS.md",
+            "docs/SERVING.md",
             "docs/SHARDING.md",
             "docs/TUTORIAL.md",
             "LICENSE",
@@ -255,6 +256,81 @@ class TestKernelsDoc:
         info = environment_provenance()
         assert "arcs" in info["kernels_available"]
         assert info["kernel_default"] in info["kernels_available"]
+
+
+class TestServingDoc:
+    """SERVING.md promises the daemon's protocol and versioning
+    contract; pin the structural claims so the doc cannot drift."""
+
+    def text(self):
+        return (ROOT / "docs" / "SERVING.md").read_text()
+
+    def test_structural_claims_present(self):
+        text = self.text()
+        for claim in (
+            "Composition matrix",
+            "versioned immutable",
+            "single\n  committed version",
+            "(graph version, config fingerprint)",
+            "Connection: close",
+            "exits **0**",
+            "bit-identical",
+            "`/healthz`",
+            "`/stats`",
+            "`/delta`",
+            "--lru-entries",
+            "--lru-bytes",
+        ):
+            assert claim in text, claim
+
+    def test_named_surfaces_exist(self):
+        """Every API surface the doc names must resolve."""
+        from repro.serve import (  # noqa: F401 - named in the doc
+            RequestParams,
+            ScoreLRU,
+            ServeClient,
+            SnapshotManager,
+            build_config,
+            config_fingerprint,
+            make_server,
+            parse_delta_body,
+        )
+        from repro.cache.incremental import (  # noqa: F401
+            apgre_bc_delta,
+            apply_edge_delta,
+            parse_delta_lines,
+        )
+        from repro.core.config import APGREConfig
+
+        # supervision budgets must stay outside the fingerprint
+        assert config_fingerprint(
+            APGREConfig(timeout=9.0, max_retries=0)
+        ) == config_fingerprint(APGREConfig())
+
+    def test_cli_flags_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "g.txt", "--port", "9000",
+             "--lru-entries", "8", "--lru-bytes", "1000000"]
+        )
+        assert args.port == 9000
+        assert args.lru_entries == 8 and args.lru_bytes == 1000000
+        args = parser.parse_args(
+            ["query", "bc", "--unix-socket", "s.sock", "--top", "5"]
+        )
+        assert args.unix_socket == "s.sock" and args.top == 5
+        args = parser.parse_args(["info", "g.txt", "--json"])
+        assert args.as_json is True
+
+    def test_store_stats_surface_exists(self):
+        from repro.cache.store import ContributionStore
+
+        stats = ContributionStore().stats()
+        for key in ("hits", "misses", "puts", "evictions",
+                    "entries_in_memory", "bytes_in_memory"):
+            assert key in stats, key
 
 
 class TestDesignModuleMap:

@@ -583,7 +583,7 @@ class TestParallelBatchedUnderFaults:
         with injected_faults(FaultSpec("kill", task=1)):
             cold = apgre_bc_detailed(graph, config)
         assert cold.health.worker_crashes >= 1
-        assert store.stats.puts > 0
+        assert store.counters.puts > 0
         warm = apgre_bc_detailed(graph, config)
         np.testing.assert_allclose(
             warm.scores, cold.scores, rtol=1e-9, atol=1e-9

@@ -505,7 +505,7 @@ class TestDiskFaults:
             graph, APGREConfig(threshold=2, cache=fresh)
         )
         np.testing.assert_allclose(rerun.scores, reference, atol=1e-9)
-        assert fresh.stats.disk_errors >= 1
+        assert fresh.counters.disk_errors >= 1
         assert rerun.stats.subgraphs_recomputed >= 1
 
 
